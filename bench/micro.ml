@@ -1,0 +1,85 @@
+(* Bechamel microbenchmarks: one Test.make per experiment id, measuring the
+   kernel that regenerates the corresponding artifact. *)
+
+open Bechamel
+open Toolkit
+
+let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
+
+let small_db =
+  Database.make
+    ~endo:
+      [ Fact.make "R" [ "1" ]; Fact.make "S" [ "1"; "2" ]; Fact.make "T" [ "2" ];
+        Fact.make "S" [ "1"; "3" ] ]
+    ~exo:[ Fact.make "T" [ "3" ] ]
+
+let graph_db = Workload.path_graph ~label_word:[ "A"; "B"; "C" ] ~n_paths:3
+
+let tests () =
+  [
+    Test.make ~name:"fig1a/svc_via_fgmc" (Staged.stage (fun () ->
+        let mu = List.hd (Database.endo_list small_db) in
+        Svc_to_fgmc.svc ~fgmc:(Oracle.fgmc_of qrst) small_db mu));
+    Test.make ~name:"fig1a/fgmc_via_sppqe" (Staged.stage (fun () ->
+        Fgmc_sppqe.fgmc_via_sppqe ~sppqe:(Oracle.sppqe_of qrst) small_db));
+    Test.make ~name:"fig2/lemma41_engine" (Staged.stage (fun () ->
+        Fgmc_to_svc.lemma41_auto ~svc:(Oracle.svc_of qrst) ~query:qrst small_db));
+    Test.make ~name:"fig1b/classify_corpus" (Staged.stage (fun () ->
+        List.map
+          (fun s -> Classify.classify (Query_parse.parse s))
+          [ "R(?x), S(?x,?y)"; "R(?x), S(?x,?y), T(?y)"; "ucq: R(?x) | S(?x,?y)" ]));
+    Test.make ~name:"cor43/rpq_dichotomy" (Staged.stage (fun () ->
+        Classify.classify_rpq (Rpq.of_string "A(B+C)*D" ~src:"s" ~dst:"t")));
+    Test.make ~name:"cor43/rpq_fgmc" (Staged.stage (fun () ->
+        Model_counting.fgmc_polynomial (Query_parse.parse "rpq: (ABC)(s,t)") graph_db));
+    Test.make ~name:"lem61/fgmc_via_fmc" (Staged.stage (fun () ->
+        Endogenous.fgmc_polynomial_via_fmc ~fmc:(Oracle.fgmc_of qrst) small_db));
+    Test.make ~name:"lem63/max_svc" (Staged.stage (fun () -> Max_svc.max_svc qrst small_db));
+    Test.make ~name:"prop63/const_counting" (Staged.stage (fun () ->
+        let fs = Workload.bibliography ~n_authors:4 ~n_papers:5 ~seed:3 in
+        let authors =
+          Term.Sset.filter
+            (fun c -> String.length c > 6 && String.sub c 0 6 = "author")
+            (Fact.Set.consts fs)
+        in
+        let inst = Const_svc.make_instance ~facts:fs ~endo_consts:authors in
+        Const_svc.fgmc_const_polynomial
+          (Query_parse.parse "Publication(?x,?y), Keyword(?y,shapley)") inst));
+    Test.make ~name:"scale/lineage_star40" (Staged.stage (fun () ->
+        Model_counting.fgmc_polynomial
+          (Query_parse.parse "R(?x), S(?x,?y)")
+          (Workload.star_join ~spokes:40)));
+    Test.make ~name:"safe_plan/fgmc_star40" (Staged.stage (fun () ->
+        Safe_plan.fgmc_polynomial (Cq.parse "R(?x), S(?x,?y)") (Workload.star_join ~spokes:40)));
+    Test.make ~name:"provenance/nx_polynomial" (Staged.stage (fun () ->
+        Annotate.provenance_polynomial (Cq.parse "R(?x), S(?x,?y)")
+          (Database.all (Workload.star_join ~spokes:20))));
+    Test.make ~name:"substrate/bigint_fact100" (Staged.stage (fun () -> Bigint.factorial 100));
+    Test.make ~name:"substrate/vandermonde8" (Staged.stage (fun () ->
+        let pts = Array.init 8 (fun i -> Rational.of_int (i + 1)) in
+        let b = Array.init 8 (fun i -> Rational.of_int (i * i)) in
+        Linalg.solve_vandermonde pts b));
+  ]
+
+let run () =
+  Report.heading "MICRO" "Bechamel microbenchmarks (ns/run, OLS estimate)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" (tests ())) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+       let est =
+         match Analyze.OLS.estimates ols with
+         | Some [ e ] -> Printf.sprintf "%.0f ns" e
+         | _ -> "n/a"
+       in
+       rows := [ name; est ] :: !rows)
+    results;
+  Report.table ~headers:[ "kernel"; "time/run" ]
+    (List.sort compare !rows);
+  true

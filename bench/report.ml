@@ -1,0 +1,52 @@
+(* Plain-text tables for the experiment reports. *)
+
+let heading id title =
+  Printf.printf "\n================================================================================\n";
+  Printf.printf "[%s] %s\n" id title;
+  Printf.printf "================================================================================\n"
+
+let subheading title = Printf.printf "\n--- %s ---\n" title
+
+let table ~headers rows =
+  let ncols = List.length headers in
+  let rows = List.map (fun r -> List.map (fun c -> c) r) rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+         if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure headers;
+  List.iter measure rows;
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+           let pad = widths.(i) - String.length cell in
+           cell ^ String.make (max 0 pad) ' ')
+        row
+    in
+    Printf.printf "| %s |\n" (String.concat " | " cells)
+  in
+  let sep =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  Printf.printf "%s\n" sep;
+  print_row headers;
+  Printf.printf "%s\n" sep;
+  List.iter print_row rows;
+  Printf.printf "%s\n" sep
+
+let ok b = if b then "ok" else "FAIL"
+
+let now () = Unix.gettimeofday ()
+
+let time_it f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let ms t = Printf.sprintf "%.2fms" (t *. 1000.)

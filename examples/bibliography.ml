@@ -1,0 +1,81 @@
+(* The paper's Section 6.4 scenario: measuring author expertise by the
+   Shapley value of *constants* rather than facts.
+
+   Schema: Publication(authorID, paperID), Keyword(paperID, keywordStr).
+   Query:  q* = ∃x,y Publication(x,y) ∧ Keyword(y,'shapley').
+
+   The Shapley value of author constants (all other constants exogenous)
+   quantifies each author's share of the community's 'shapley' expertise —
+   the per-fact Shapley value would split an author's contribution across
+   their publications (Remark in §6.4).
+
+   Run with:  dune exec examples/bibliography.exe *)
+
+let () =
+  let f = Fact.make in
+  let facts =
+    Fact.Set.of_list
+      [
+        (* alice: two shapley papers, one co-authored *)
+        f "Publication" [ "alice"; "p1" ];
+        f "Publication" [ "alice"; "p2" ];
+        f "Publication" [ "bob"; "p2" ];
+        (* bob also has a solo logic paper *)
+        f "Publication" [ "bob"; "p3" ];
+        (* carol: one shapley paper *)
+        f "Publication" [ "carol"; "p4" ];
+        (* dave: publishes, but never on shapley *)
+        f "Publication" [ "dave"; "p3" ];
+        f "Keyword" [ "p1"; "shapley" ];
+        f "Keyword" [ "p2"; "shapley" ];
+        f "Keyword" [ "p3"; "logic" ];
+        f "Keyword" [ "p4"; "shapley" ];
+      ]
+  in
+  let authors = Term.Sset.of_list [ "alice"; "bob"; "carol"; "dave" ] in
+  let inst = Const_svc.make_instance ~facts ~endo_consts:authors in
+  let qstar = Query_parse.parse "Publication(?x,?y), Keyword(?y,shapley)" in
+
+  Printf.printf "q* = %s\n\n" (Query.to_string qstar);
+  Printf.printf "Shapley value of author constants (SVC^const, §6.4):\n";
+  let values =
+    List.sort
+      (fun (_, a) (_, b) -> Rational.compare b a)
+      (Const_svc.svc_const_all qstar inst)
+  in
+  List.iter
+    (fun (author, v) ->
+       Printf.printf "  %-8s %-8s (≈ %.4f)\n" author (Rational.to_string v)
+         (Rational.to_float v))
+    values;
+
+  (* the counting analog (Prop. 6.3): how many author coalitions of each
+     size witness a shapley paper *)
+  let poly = Const_svc.fgmc_const_polynomial qstar inst in
+  Format.printf "\nFGMC^const polynomial: %a\n" Poly.Z.pp poly;
+  Printf.printf
+    "(coefficient k = number of author subsets of size k whose induced\n\
+     database contains a 'shapley' publication)\n";
+
+  (* the equivalence of Prop. 6.3, executed: recover the polynomial through
+     an SVC^const oracle *)
+  let oracle = Oracle.svc_const_of qstar in
+  let recovered =
+    Const_red.fgmc_const_via_svc_const ~svc_const:oracle ~query:qstar inst
+  in
+  Format.printf "\nProp. 6.3 reduction: recovered %a with %d SVC^const calls — %s\n"
+    Poly.Z.pp recovered (Oracle.calls oracle)
+    (if Poly.Z.equal recovered poly then "matches" else "MISMATCH");
+
+  (* contrast with the per-fact Shapley value: alice's expertise is split
+     between her publication facts *)
+  Printf.printf "\nPer-fact view (facts of the Publication relation endogenous):\n";
+  let pub_facts, kw_facts =
+    Fact.Set.partition (fun fact -> Fact.rel fact = "Publication") facts
+  in
+  let db = Database.of_sets ~endo:pub_facts ~exo:kw_facts in
+  List.iter
+    (fun (fact, v) ->
+       if not (Rational.is_zero v) then
+         Printf.printf "  %-28s %s\n" (Fact.to_string fact) (Rational.to_string v))
+    (Svc.svc_all qstar db)

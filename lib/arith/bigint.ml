@@ -1,0 +1,464 @@
+(* Arbitrary-precision signed integers: sign + magnitude, base 2^24 limbs.
+
+   Magnitudes are little-endian [int array]s with no trailing zero limb.
+   The invariant [sign = 0 <=> mag = [||]] is maintained by [make].
+
+   The base 2^24 is chosen so that a limb product (< 2^48) plus carries fits
+   comfortably in OCaml's 63-bit native ints, keeping multiplication a simple
+   schoolbook loop with no overflow analysis. *)
+
+let base_bits = 24
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mag_norm (a : int array) : int array =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let make sign mag =
+  let mag = mag_norm mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  mag_norm r
+
+(* Requires a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin r.(i) <- s + base; borrow := 1 end
+    else begin r.(i) <- s; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  mag_norm r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let s = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    mag_norm r
+  end
+
+(* Multiplication by a small non-negative int (may exceed one limb). *)
+let mag_mul_small a (m : int) =
+  if m = 0 then [||]
+  else if m < base then begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * m) + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr base_bits
+    done;
+    let k = ref la in
+    while !carry <> 0 do
+      r.(!k) <- !carry land mask;
+      carry := !carry lsr base_bits;
+      incr k
+    done;
+    mag_norm r
+  end
+  else
+    (* Split m into limbs and fall back to full multiplication. *)
+    let rec limbs m = if m = 0 then [] else (m land mask) :: limbs (m lsr base_bits) in
+    mag_mul a (Array.of_list (limbs m))
+
+(* Short division by 0 < d < base: returns (quotient, remainder). *)
+let mag_divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_norm q, !r)
+
+let mag_bitlength a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else
+    let top = a.(la - 1) in
+    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+    ((la - 1) * base_bits) + width top 0
+
+let mag_testbit a i =
+  let limb = i / base_bits and off = i mod base_bits in
+  if limb >= Array.length a then false else (a.(limb) lsr off) land 1 = 1
+
+(* Binary long division on magnitudes: O(bits(a) * limbs(a)) worst case,
+   amply fast at the instance sizes used by the reductions. *)
+let mag_divmod a b =
+  if Array.length b = 0 then raise Division_by_zero;
+  let c = mag_cmp a b in
+  if c < 0 then ([||], Array.copy a)
+  else if Array.length b = 1 then
+    let q, r = mag_divmod_small a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  else begin
+    let nbits = mag_bitlength a in
+    let qlimbs = Array.make (Array.length a) 0 in
+    (* Remainder kept as a mutable magnitude buffer with explicit length. *)
+    let rbuf = Array.make (Array.length b + 1) 0 in
+    let rlen = ref 0 in
+    let r_shift_in bit =
+      (* rbuf := rbuf * 2 + bit *)
+      let carry = ref bit in
+      for i = 0 to !rlen - 1 do
+        let s = (rbuf.(i) lsl 1) lor !carry in
+        rbuf.(i) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      if !carry <> 0 then begin rbuf.(!rlen) <- !carry; incr rlen end
+    in
+    let r_geq_b () =
+      let lb = Array.length b in
+      if !rlen <> lb then !rlen > lb
+      else
+        let rec go i = if i < 0 then true else if rbuf.(i) <> b.(i) then rbuf.(i) > b.(i) else go (i - 1) in
+        go (lb - 1)
+    in
+    let r_sub_b () =
+      let lb = Array.length b in
+      let borrow = ref 0 in
+      for i = 0 to !rlen - 1 do
+        let db = if i < lb then b.(i) else 0 in
+        let s = rbuf.(i) - db - !borrow in
+        if s < 0 then begin rbuf.(i) <- s + base; borrow := 1 end
+        else begin rbuf.(i) <- s; borrow := 0 end
+      done;
+      while !rlen > 0 && rbuf.(!rlen - 1) = 0 do decr rlen done
+    in
+    for i = nbits - 1 downto 0 do
+      r_shift_in (if mag_testbit a i then 1 else 0);
+      if r_geq_b () then begin
+        r_sub_b ();
+        qlimbs.(i / base_bits) <- qlimbs.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (mag_norm qlimbs, mag_norm (Array.sub rbuf 0 !rlen))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction and conversions                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_int n =
+  if n = 0 then zero
+  else
+    let sign = if n < 0 then -1 else 1 in
+    (* Beware min_int: negate via the magnitude loop on the absolute value,
+       handling it limb by limb without computing [abs min_int]. *)
+    let rec limbs m acc = if m = 0 then List.rev acc else limbs (m lsr base_bits) ((m land mask) :: acc) in
+    let m = if n = Stdlib.min_int then n else Stdlib.abs n in
+    if n = Stdlib.min_int then begin
+      (* min_int = -2^62 on 64-bit: magnitude has a single bit set. *)
+      let bits = Sys.int_size - 1 in
+      let limb = bits / base_bits and off = bits mod base_bits in
+      let mag = Array.make (limb + 1) 0 in
+      mag.(limb) <- 1 lsl off;
+      { sign; mag }
+    end
+    else { sign; mag = Array.of_list (limbs m []) }
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let to_int_opt n =
+  let la = Array.length n.mag in
+  if la * base_bits >= Sys.int_size + base_bits then None
+  else begin
+    let v = ref 0 in
+    let ok = ref true in
+    for i = la - 1 downto 0 do
+      if !v > Stdlib.max_int lsr base_bits then ok := false
+      else begin
+        let v' = (!v lsl base_bits) lor n.mag.(i) in
+        if v' < 0 then ok := false else v := v'
+      end
+    done;
+    if !ok then Some (if n.sign < 0 then - !v else !v)
+    else if n.sign < 0 then begin
+      (* min_int itself round-trips. *)
+      let m = of_int Stdlib.min_int in
+      if mag_cmp n.mag m.mag = 0 then Some Stdlib.min_int else None
+    end
+    else None
+  end
+
+let to_int n =
+  match to_int_opt n with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: overflow"
+
+let sign n = n.sign
+let is_zero n = n.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_cmp a.mag b.mag
+  else mag_cmp b.mag a.mag
+
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let gt a b = compare a b > 0
+let geq a b = compare a b >= 0
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+
+let neg n = if n.sign = 0 then zero else { n with sign = -n.sign }
+let abs n = if n.sign < 0 then neg n else n
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else
+    let c = mag_cmp a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+let succ n = add n one
+let pred n = sub n one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let mul_int a m =
+  if a.sign = 0 || m = 0 then zero
+  else if m = Stdlib.min_int then mul a (of_int m)
+  else
+    let s = if m < 0 then -a.sign else a.sign in
+    make s (mag_mul_small a.mag (Stdlib.abs m))
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else
+    let qm, rm = mag_divmod a.mag b.mag in
+    let q = make (a.sign * b.sign) qm in
+    let r = make a.sign rm in
+    (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let divexact a b =
+  let q, r = divmod a b in
+  if not (is_zero r) then invalid_arg "Bigint.divexact: inexact division";
+  q
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+(* Binary GCD: avoids bignum division entirely (shifts + subtractions). *)
+let gcd a b =
+  let rec twos m i = if Array.length m > 0 && not (mag_testbit m i) then twos m (i + 1) else i in
+  let mag_shr m k =
+    (* shift right by k bits *)
+    if Array.length m = 0 || k = 0 then m
+    else begin
+      let limbshift = k / base_bits and bitshift = k mod base_bits in
+      let lm = Array.length m in
+      if limbshift >= lm then [||]
+      else begin
+        let lr = lm - limbshift in
+        let r = Array.make lr 0 in
+        for i = 0 to lr - 1 do
+          let lo = m.(i + limbshift) lsr bitshift in
+          let hi =
+            if bitshift = 0 || i + limbshift + 1 >= lm then 0
+            else (m.(i + limbshift + 1) lsl (base_bits - bitshift)) land mask
+          in
+          r.(i) <- lo lor hi
+        done;
+        mag_norm r
+      end
+    end
+  in
+  let mag_shl m k =
+    if Array.length m = 0 || k = 0 then m
+    else begin
+      let limbshift = k / base_bits and bitshift = k mod base_bits in
+      let lm = Array.length m in
+      let lr = lm + limbshift + 1 in
+      let r = Array.make lr 0 in
+      for i = 0 to lm - 1 do
+        let v = m.(i) lsl bitshift in
+        r.(i + limbshift) <- r.(i + limbshift) lor (v land mask);
+        if bitshift > 0 then r.(i + limbshift + 1) <- r.(i + limbshift + 1) lor (v lsr base_bits)
+      done;
+      mag_norm r
+    end
+  in
+  let a = (abs a).mag and b = (abs b).mag in
+  if Array.length a = 0 then make 1 b
+  else if Array.length b = 0 then make 1 a
+  else begin
+    let ka = twos a 0 and kb = twos b 0 in
+    let k = Stdlib.min ka kb in
+    let u = ref (mag_shr a ka) and v = ref (mag_shr b kb) in
+    (* u, v odd *)
+    let continue = ref true in
+    while !continue do
+      let c = mag_cmp !u !v in
+      if c = 0 then continue := false
+      else begin
+        if c < 0 then begin let t = !u in u := !v; v := t end;
+        let d = mag_sub !u !v in
+        u := mag_shr d (twos d 0)
+      end
+    done;
+    make 1 (mag_shl !u k)
+  end
+
+let factorial n =
+  if n < 0 then invalid_arg "Bigint.factorial: negative argument";
+  let acc = ref one in
+  for i = 2 to n do acc := mul_int !acc i done;
+  !acc
+
+let falling_factorial n k =
+  if k < 0 then invalid_arg "Bigint.falling_factorial: negative k";
+  let acc = ref one in
+  for i = 0 to k - 1 do acc := mul_int !acc (n - i) done;
+  !acc
+
+let binomial n k =
+  if k < 0 || k > n then zero
+  else begin
+    let k = if k > n - k then n - k else k in
+    let acc = ref one in
+    for i = 1 to k do
+      acc := divexact (mul_int !acc (n - k + i)) (of_int i)
+    done;
+    !acc
+  end
+
+let chunk_pow = 7
+let chunk_base = 10_000_000 (* 10^7 < 2^24 is required by mag_divmod_small *)
+
+let to_string n =
+  if n.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go m acc =
+      if Array.length m = 0 then acc
+      else
+        let q, r = mag_divmod_small m chunk_base in
+        go q (r :: acc)
+    in
+    match go n.mag [] with
+    | [] -> "0"
+    | hd :: tl ->
+      if n.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int hd);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%07d" c)) tl;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let neg_sign = s.[0] = '-' in
+  let start = if neg_sign || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < len do
+    let stop = Stdlib.min len (!i + chunk_pow) in
+    let width = stop - !i in
+    let chunk = String.sub s !i width in
+    String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: invalid digit") chunk;
+    let v = int_of_string chunk in
+    let rec pow10 k = if k = 0 then 1 else 10 * pow10 (k - 1) in
+    let scale = pow10 width in
+    acc := add (make 1 (mag_mul_small (!acc).mag scale)) (of_int v);
+    i := stop
+  done;
+  if neg_sign then neg !acc else !acc
+
+let to_float n =
+  let acc = ref 0. in
+  for i = Array.length n.mag - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int n.mag.(i)
+  done;
+  if n.sign < 0 then -. !acc else !acc
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) = lt
+  let ( <= ) = leq
+  let ( > ) = gt
+  let ( >= ) = geq
+  let ( ~- ) = neg
+end

@@ -1,0 +1,112 @@
+(** Arbitrary-precision signed integers.
+
+    The Shapley value formulas of the paper involve factorials of the number
+    of endogenous facts, and the reductions of Lemmas 4.1/4.3/4.4 invert
+    linear systems whose entries are products of factorials.  Native 63-bit
+    integers overflow at [21!], so all counting and Shapley computations in
+    this library are carried out with this module (the sealed build
+    environment provides no [zarith]).
+
+    Representation: sign + magnitude, magnitude in base [2{^24}] limbs.
+    All operations are purely functional. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** [to_int n] is the value of [n] as a native [int].
+    @raise Failure if [n] does not fit in an OCaml [int]. *)
+
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Parses an optionally ['-']-prefixed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal representation, with a leading ['-'] when negative. *)
+
+val to_float : t -> float
+(** Best-effort conversion; large values lose precision or become infinite. *)
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|], and [r]
+    carrying the sign of [a] (truncated division, as for OCaml's [/]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val divexact : t -> t -> t
+(** [divexact a b] is [a / b] when the division is known to be exact.
+    @raise Invalid_argument if [b] does not divide [a]. *)
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative, [gcd 0 0 = 0]. *)
+
+(** {1 Combinatorics} *)
+
+val factorial : int -> t
+(** [factorial n] is [n!]. @raise Invalid_argument on negative input. *)
+
+val binomial : int -> int -> t
+(** [binomial n k] is [n choose k] ([zero] when [k < 0] or [k > n]). *)
+
+val falling_factorial : int -> int -> t
+(** [falling_factorial n k] is [n (n-1) ... (n-k+1)]. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+  val ( ~- ) : t -> t
+end

@@ -1,0 +1,126 @@
+type matrix = Rational.t array array
+type vector = Rational.t array
+
+let dimensions (m : matrix) =
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  Array.iter (fun r -> if Array.length r <> cols then invalid_arg "Linalg: ragged matrix") m;
+  (rows, cols)
+
+let mat_vec m v =
+  let rows, cols = dimensions m in
+  if cols <> Array.length v then invalid_arg "Linalg.mat_vec: dimension mismatch";
+  Array.init rows (fun i ->
+      let acc = ref Rational.zero in
+      for j = 0 to cols - 1 do
+        acc := Rational.add !acc (Rational.mul m.(i).(j) v.(j))
+      done;
+      !acc)
+
+(* Gaussian elimination with row pivoting (first non-zero pivot; over ℚ any
+   non-zero pivot is exact, no numerical concerns). Returns the echelonized
+   copy together with the transformed right-hand side, or None if singular. *)
+let solve m b =
+  let rows, cols = dimensions m in
+  if rows <> cols then invalid_arg "Linalg.solve: non-square matrix";
+  if rows <> Array.length b then invalid_arg "Linalg.solve: dimension mismatch";
+  let a = Array.map Array.copy m in
+  let y = Array.copy b in
+  let n = rows in
+  let singular = ref false in
+  (try
+     for k = 0 to n - 1 do
+       (* find pivot *)
+       let piv = ref (-1) in
+       for i = k to n - 1 do
+         if !piv < 0 && not (Rational.is_zero a.(i).(k)) then piv := i
+       done;
+       if !piv < 0 then begin singular := true; raise Exit end;
+       if !piv <> k then begin
+         let t = a.(k) in a.(k) <- a.(!piv); a.(!piv) <- t;
+         let t = y.(k) in y.(k) <- y.(!piv); y.(!piv) <- t
+       end;
+       for i = k + 1 to n - 1 do
+         if not (Rational.is_zero a.(i).(k)) then begin
+           let f = Rational.div a.(i).(k) a.(k).(k) in
+           a.(i).(k) <- Rational.zero;
+           for j = k + 1 to n - 1 do
+             a.(i).(j) <- Rational.sub a.(i).(j) (Rational.mul f a.(k).(j))
+           done;
+           y.(i) <- Rational.sub y.(i) (Rational.mul f y.(k))
+         end
+       done
+     done
+   with Exit -> ());
+  if !singular then None
+  else begin
+    let x = Array.make n Rational.zero in
+    for i = n - 1 downto 0 do
+      let acc = ref y.(i) in
+      for j = i + 1 to n - 1 do
+        acc := Rational.sub !acc (Rational.mul a.(i).(j) x.(j))
+      done;
+      x.(i) <- Rational.div !acc a.(i).(i)
+    done;
+    Some x
+  end
+
+let determinant m =
+  let rows, cols = dimensions m in
+  if rows <> cols then invalid_arg "Linalg.determinant: non-square matrix";
+  let a = Array.map Array.copy m in
+  let n = rows in
+  let det = ref Rational.one in
+  (try
+     for k = 0 to n - 1 do
+       let piv = ref (-1) in
+       for i = k to n - 1 do
+         if !piv < 0 && not (Rational.is_zero a.(i).(k)) then piv := i
+       done;
+       if !piv < 0 then begin det := Rational.zero; raise Exit end;
+       if !piv <> k then begin
+         let t = a.(k) in a.(k) <- a.(!piv); a.(!piv) <- t;
+         det := Rational.neg !det
+       end;
+       det := Rational.mul !det a.(k).(k);
+       for i = k + 1 to n - 1 do
+         if not (Rational.is_zero a.(i).(k)) then begin
+           let f = Rational.div a.(i).(k) a.(k).(k) in
+           for j = k to n - 1 do
+             a.(i).(j) <- Rational.sub a.(i).(j) (Rational.mul f a.(k).(j))
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  !det
+
+let vandermonde pts =
+  let n = Array.length pts in
+  Array.init n (fun i -> Array.init n (fun j -> Rational.pow pts.(i) j))
+
+let solve_vandermonde pts b =
+  let n = Array.length pts in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rational.equal pts.(i) pts.(j) then
+        invalid_arg "Linalg.solve_vandermonde: duplicate points"
+    done
+  done;
+  match solve (vandermonde pts) b with
+  | Some x -> x
+  | None -> invalid_arg "Linalg.solve_vandermonde: singular (impossible for distinct points)"
+
+let shifted_factorial_matrix n =
+  Array.init (n + 1) (fun i ->
+      Array.init (n + 1) (fun j -> Rational.of_bigint (Bigint.factorial (i + j))))
+
+let pp_vector fmt v =
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") Rational.pp)
+    (Array.to_list v)
+
+let pp_matrix fmt m =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_vector)
+    (Array.to_list m)

@@ -1,0 +1,41 @@
+(** Exact linear algebra over ℚ.
+
+    The paper's reductions recover counting vectors from Shapley-value or
+    probability measurements by inverting structured linear systems:
+
+    - Claim A.2 inverts a Vandermonde system (SPPQE at [n+1] distinct
+      probabilities determines all [FGMC_j]);
+    - Lemmas 4.1/4.3/4.4 invert the matrix with general term [(i+j)!], whose
+      invertibility is due to Bacher (2002).
+
+    We implement exact Gaussian elimination over {!Rational} plus the
+    structured system builders used by the reductions. *)
+
+type matrix = Rational.t array array
+type vector = Rational.t array
+
+val solve : matrix -> vector -> vector option
+(** [solve m b] is [Some x] with [m x = b] when [m] is square and
+    non-singular, [None] when singular.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val determinant : matrix -> Rational.t
+(** @raise Invalid_argument if the matrix is not square. *)
+
+val mat_vec : matrix -> vector -> vector
+(** Matrix-vector product. @raise Invalid_argument on dimension mismatch. *)
+
+val vandermonde : Rational.t array -> matrix
+(** [vandermonde pts] has general term [pts.(i)^j]. *)
+
+val solve_vandermonde : Rational.t array -> vector -> vector
+(** [solve_vandermonde pts b] solves [V x = b] for the Vandermonde matrix of
+    [pts], which must be pairwise distinct.
+    @raise Invalid_argument if the points are not pairwise distinct. *)
+
+val shifted_factorial_matrix : int -> matrix
+(** The [(n+1) × (n+1)] matrix of general term [(i+j)!] (Bacher 2002), used
+    to argue invertibility of the reductions' systems. *)
+
+val pp_matrix : Format.formatter -> matrix -> unit
+val pp_vector : Format.formatter -> vector -> unit

@@ -1,0 +1,168 @@
+module type Ring = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type coeff
+  type t
+
+  val zero : t
+  val one : t
+  val x : t
+  val constant : coeff -> t
+  val monomial : coeff -> int -> t
+  val of_coeffs : coeff list -> t
+  val coeff : t -> int -> coeff
+  val coeffs : t -> coeff array
+  val degree : t -> int
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val scale : coeff -> t -> t
+  val shift : int -> t -> t
+  val eval : t -> coeff -> coeff
+  val sum : t list -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (R : Ring) : S with type coeff = R.t = struct
+  type coeff = R.t
+
+  (* Dense little-endian coefficient array with no trailing zeros. *)
+  type t = coeff array
+
+  let norm (a : t) : t =
+    let n = ref (Array.length a) in
+    while !n > 0 && R.equal a.(!n - 1) R.zero do decr n done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let zero = [||]
+  let constant c = norm [| c |]
+  let one = constant R.one
+
+  let monomial c k =
+    if k < 0 then invalid_arg "Poly.monomial: negative degree";
+    if R.equal c R.zero then zero
+    else begin
+      let a = Array.make (k + 1) R.zero in
+      a.(k) <- c;
+      a
+    end
+
+  let x = monomial R.one 1
+  let of_coeffs cs = norm (Array.of_list cs)
+  let coeff p j = if j < 0 || j >= Array.length p then R.zero else p.(j)
+  let coeffs p = Array.copy p
+  let degree p = Array.length p - 1
+  let is_zero p = Array.length p = 0
+
+  let equal p q =
+    Array.length p = Array.length q
+    && (let ok = ref true in
+        Array.iteri (fun i c -> if not (R.equal c q.(i)) then ok := false) p;
+        !ok)
+
+  let add p q =
+    let lp = Array.length p and lq = Array.length q in
+    let lr = Stdlib.max lp lq in
+    norm (Array.init lr (fun i -> R.add (coeff p i) (coeff q i)))
+
+  let neg p = Array.map R.neg p
+  let sub p q = add p (neg q)
+
+  let mul p q =
+    let lp = Array.length p and lq = Array.length q in
+    if lp = 0 || lq = 0 then zero
+    else begin
+      let r = Array.make (lp + lq - 1) R.zero in
+      for i = 0 to lp - 1 do
+        for j = 0 to lq - 1 do
+          r.(i + j) <- R.add r.(i + j) (R.mul p.(i) q.(j))
+        done
+      done;
+      norm r
+    end
+
+  let scale c p = norm (Array.map (R.mul c) p)
+
+  let shift k p =
+    if k < 0 then invalid_arg "Poly.shift: negative shift";
+    if is_zero p then zero
+    else Array.append (Array.make k R.zero) p
+
+  let eval p v =
+    let acc = ref R.zero in
+    for i = Array.length p - 1 downto 0 do
+      acc := R.add (R.mul !acc v) p.(i)
+    done;
+    !acc
+
+  let sum = List.fold_left add zero
+
+  let pp fmt p =
+    if is_zero p then Format.pp_print_string fmt "0"
+    else begin
+      let first = ref true in
+      Array.iteri
+        (fun i c ->
+           if not (R.equal c R.zero) then begin
+             if not !first then Format.pp_print_string fmt " + ";
+             first := false;
+             if i = 0 then R.pp fmt c
+             else if R.equal c R.one then Format.fprintf fmt "z^%d" i
+             else Format.fprintf fmt "%a·z^%d" R.pp c i
+           end)
+        p
+    end
+end
+
+module Bigint_ring = struct
+  type t = Bigint.t
+
+  let zero = Bigint.zero
+  let one = Bigint.one
+  let add = Bigint.add
+  let mul = Bigint.mul
+  let neg = Bigint.neg
+  let equal = Bigint.equal
+  let pp = Bigint.pp
+end
+
+module Rational_ring = struct
+  type t = Rational.t
+
+  let zero = Rational.zero
+  let one = Rational.one
+  let add = Rational.add
+  let mul = Rational.mul
+  let neg = Rational.neg
+  let equal = Rational.equal
+  let pp = Rational.pp
+end
+
+module Z = struct
+  include Make (Bigint_ring)
+
+  let eval_rational p v =
+    let acc = ref Rational.zero in
+    let cs = coeffs p in
+    for i = Array.length cs - 1 downto 0 do
+      acc := Rational.add (Rational.mul !acc v) (Rational.of_bigint cs.(i))
+    done;
+    !acc
+
+  let total p = eval p Bigint.one
+end
+
+module Q = Make (Rational_ring)

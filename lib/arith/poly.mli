@@ -1,0 +1,78 @@
+(** Univariate polynomials over a commutative ring.
+
+    The central counting object of this library is the {e size-generating
+    polynomial} of a query lineage: the polynomial [p(z) = Σ_j c_j z^j] where
+    [c_j] counts the satisfying assignments setting exactly [j] endogenous
+    facts to true.  Its coefficients are exactly the [FGMC_j] values of the
+    paper (Section 3.2), and evaluating [p] at [z = p/(1-p)] divided by
+    [(1+z)^n] yields SPPQE probabilities (Claim A.2).  *)
+
+module type Ring = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type coeff
+  type t
+
+  val zero : t
+  val one : t
+  val x : t
+  (** The monomial [z]. *)
+
+  val constant : coeff -> t
+  val monomial : coeff -> int -> t
+  (** [monomial c k] is [c·z^k]. @raise Invalid_argument if [k < 0]. *)
+
+  val of_coeffs : coeff list -> t
+  (** [of_coeffs [c0; c1; ...]] is [c0 + c1 z + ...]. *)
+
+  val coeff : t -> int -> coeff
+  (** [coeff p j] is the coefficient of [z^j] (zero beyond the degree). *)
+
+  val coeffs : t -> coeff array
+  (** Dense coefficient array, lowest degree first; [ [||] ] for zero. *)
+
+  val degree : t -> int
+  (** Degree, with [degree zero = -1]. *)
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val scale : coeff -> t -> t
+  val shift : int -> t -> t
+  (** [shift k p] is [z^k · p]. *)
+
+  val eval : t -> coeff -> coeff
+  val sum : t list -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (R : Ring) : S with type coeff = R.t
+
+(** Polynomials with {!Bigint} coefficients (counting polynomials). *)
+module Z : sig
+  include S with type coeff = Bigint.t
+
+  val eval_rational : t -> Rational.t -> Rational.t
+  (** Evaluate an integer polynomial at a rational point. *)
+
+  val total : t -> Bigint.t
+  (** [total p = p(1)]: the sum of all coefficients.  For a size-generating
+      polynomial this is the plain (generalized) model count. *)
+end
+
+(** Polynomials with {!Rational} coefficients. *)
+module Q : S with type coeff = Rational.t

@@ -1,0 +1,73 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Shapley values are rationals with factorial denominators (Equations 1-2
+    of the paper); probabilities in SPQE/SPPQE instances are rationals in
+    [(0, 1]]; the linear systems inverted by the reductions live over ℚ.
+    Values are kept normalized: [gcd num den = 1] and [den > 0]. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val half : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints a b] is [a/b]. @raise Division_by_zero if [b = 0]. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val div : t -> t -> t
+(** @raise Division_by_zero on zero divisor. *)
+
+val mul_bigint : t -> Bigint.t -> t
+val pow : t -> int -> t
+(** [pow x e] for any integer [e]; [pow zero e] with [e < 0] raises
+    [Division_by_zero]. *)
+
+val is_integer : t -> bool
+val to_bigint : t -> Bigint.t
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+val to_string : t -> string
+val of_string : string -> t
+(** Accepts ["a"], ["a/b"] and simple decimals like ["0.25"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val sum : t list -> t
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( ~- ) : t -> t
+end

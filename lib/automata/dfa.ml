@@ -1,0 +1,175 @@
+type t = {
+  nstates : int;
+  initial : int;
+  accepting : bool array;
+  (* delta.(state) maps symbol -> state; missing = dead *)
+  delta : (string, int) Hashtbl.t array;
+  alphabet : string list;
+}
+
+let of_nfa (nfa : Nfa.t) : t =
+  let alphabet = Nfa.alphabet nfa in
+  let table : (Nfa.state_set * int) list ref = ref [] in
+  let states = ref [] in
+  let counter = ref 0 in
+  let rec intern set =
+    match List.find_opt (fun (s, _) -> Nfa.set_compare s set = 0) !table with
+    | Some (_, id) -> id
+    | None ->
+      let id = !counter in
+      incr counter;
+      table := (set, id) :: !table;
+      states := (id, set) :: !states;
+      (* explore transitions *)
+      List.iter
+        (fun sym ->
+           let next = Nfa.step nfa set sym in
+           if not (Nfa.is_empty_set next) then ignore (intern next))
+        alphabet;
+      id
+  in
+  let initial = intern (Nfa.start nfa) in
+  let n = !counter in
+  let accepting = Array.make n false in
+  let delta = Array.init n (fun _ -> Hashtbl.create 4) in
+  List.iter
+    (fun (id, set) ->
+       accepting.(id) <- Nfa.is_accepting nfa set;
+       List.iter
+         (fun sym ->
+            let next = Nfa.step nfa set sym in
+            if not (Nfa.is_empty_set next) then begin
+              match List.find_opt (fun (s, _) -> Nfa.set_compare s next = 0) !table with
+              | Some (_, nid) -> Hashtbl.replace delta.(id) sym nid
+              | None -> assert false
+            end)
+         alphabet)
+    !states;
+  { nstates = n; initial; accepting; delta; alphabet }
+
+let of_regex r = of_nfa (Nfa.of_regex r)
+
+let num_states d = d.nstates
+let alphabet d = d.alphabet
+
+let accepts d word =
+  let rec go state = function
+    | [] -> d.accepting.(state)
+    | sym :: rest ->
+      (match Hashtbl.find_opt d.delta.(state) sym with
+       | None -> false
+       | Some s' -> go s' rest)
+  in
+  go d.initial word
+
+(* Completion: add an explicit dead state so every transition is total;
+   state [n] is the dead state. *)
+let completed_delta d =
+  let n = d.nstates in
+  let step s sym =
+    if s = n then n
+    else match Hashtbl.find_opt d.delta.(s) sym with Some s' -> s' | None -> n
+  in
+  step
+
+let minimize d =
+  let n = d.nstates + 1 (* + dead state *) in
+  let dead = d.nstates in
+  let step = completed_delta d in
+  let accepting s = s <> dead && d.accepting.(s) in
+  (* Moore: iteratively refine the partition by (class, successor classes) *)
+  let cls = Array.init n (fun s -> if accepting s then 1 else 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let signature s =
+      (cls.(s), List.map (fun sym -> cls.(step s sym)) d.alphabet)
+    in
+    let table = Hashtbl.create 16 in
+    let next = Array.make n 0 in
+    let counter = ref 0 in
+    for s = 0 to n - 1 do
+      let sg = signature s in
+      match Hashtbl.find_opt table sg with
+      | Some id -> next.(s) <- id
+      | None ->
+        Hashtbl.add table sg !counter;
+        next.(s) <- !counter;
+        incr counter
+    done;
+    let distinct_before =
+      List.length (List.sort_uniq compare (Array.to_list cls))
+    in
+    if !counter <> distinct_before then changed := true;
+    Array.blit next 0 cls 0 n
+  done;
+  (* rebuild over the classes, dropping transitions into the dead class *)
+  let nclasses = 1 + Array.fold_left max 0 cls in
+  let accepting' = Array.make nclasses false in
+  let delta' = Array.init nclasses (fun _ -> Hashtbl.create 4) in
+  for s = 0 to n - 1 do
+    if accepting s then accepting'.(cls.(s)) <- true
+  done;
+  for s = 0 to n - 1 do
+    if s <> dead && cls.(s) <> cls.(dead) then
+      List.iter
+        (fun sym ->
+           let t = step s sym in
+           if cls.(t) <> cls.(dead) then Hashtbl.replace delta'.(cls.(s)) sym cls.(t))
+        d.alphabet
+  done;
+  (* prune classes unreachable from the initial class (in particular the
+     dead class, which no remaining transition targets) *)
+  let reach = Array.make nclasses false in
+  let rec explore c =
+    if not reach.(c) then begin
+      reach.(c) <- true;
+      Hashtbl.iter (fun _ t -> explore t) delta'.(c)
+    end
+  in
+  explore cls.(d.initial);
+  let remap = Array.make nclasses (-1) in
+  let counter = ref 0 in
+  for c = 0 to nclasses - 1 do
+    if reach.(c) then begin
+      remap.(c) <- !counter;
+      incr counter
+    end
+  done;
+  let nfinal = !counter in
+  let accepting'' = Array.make nfinal false in
+  let delta'' = Array.init nfinal (fun _ -> Hashtbl.create 4) in
+  for c = 0 to nclasses - 1 do
+    if reach.(c) then begin
+      accepting''.(remap.(c)) <- accepting'.(c);
+      Hashtbl.iter (fun sym t -> Hashtbl.replace delta''.(remap.(c)) sym remap.(t)) delta'.(c)
+    end
+  done;
+  { nstates = nfinal; initial = remap.(cls.(d.initial)); accepting = accepting'';
+    delta = delta''; alphabet = d.alphabet }
+
+let equivalent d1 d2 =
+  (* BFS over the completed product looking for a distinguishing state *)
+  let alphabet = List.sort_uniq compare (d1.alphabet @ d2.alphabet) in
+  let step1 = completed_delta d1 and step2 = completed_delta d2 in
+  let acc1 s = s <> d1.nstates && d1.accepting.(s) in
+  let acc2 s = s <> d2.nstates && d2.accepting.(s) in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (d1.initial, d2.initial) queue;
+  Hashtbl.add seen (d1.initial, d2.initial) ();
+  let distinguishing = ref false in
+  while not (Queue.is_empty queue || !distinguishing) do
+    let s1, s2 = Queue.pop queue in
+    if acc1 s1 <> acc2 s2 then distinguishing := true
+    else
+      List.iter
+        (fun sym ->
+           let t = (step1 s1 sym, step2 s2 sym) in
+           if not (Hashtbl.mem seen t) then begin
+             Hashtbl.add seen t ();
+             Queue.add t queue
+           end)
+        alphabet
+  done;
+  not !distinguishing

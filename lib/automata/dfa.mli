@@ -1,0 +1,22 @@
+(** Deterministic finite automata via subset construction.
+
+    Not required for correctness anywhere (NFA simulation suffices), but a
+    DFA gives O(|w|) membership after a one-off construction; the
+    [ablate_homsearch]-style benches compare the two on long words. *)
+
+type t
+
+val of_nfa : Nfa.t -> t
+val of_regex : Regex.t -> t
+
+val num_states : t -> int
+val alphabet : t -> string list
+val accepts : t -> string list -> bool
+
+val minimize : t -> t
+(** Moore partition refinement over the completed automaton (a dead state
+    is added internally when the transition function is partial and pruned
+    again afterwards). *)
+
+val equivalent : t -> t -> bool
+(** Language equivalence, by product search for a distinguishing word. *)

@@ -1,0 +1,120 @@
+module Iset = Set.Make (Int)
+
+type state_set = Iset.t
+
+type t = {
+  nstates : int;
+  initial : int;
+  accept : int;
+  eps : int list array;
+  delta : (string * int) list array;
+  alphabet : string list;
+}
+
+(* Thompson construction: each sub-expression contributes a fragment with
+   one entry and one exit state. *)
+let of_regex (r : Regex.t) : t =
+  let eps_edges = ref [] and sym_edges = ref [] in
+  let counter = ref 0 in
+  let fresh () = let s = !counter in incr counter; s in
+  let add_eps a b = eps_edges := (a, b) :: !eps_edges in
+  let add_sym a s b = sym_edges := (a, s, b) :: !sym_edges in
+  let rec build r =
+    match (r : Regex.t) with
+    | Empty ->
+      let i = fresh () and f = fresh () in
+      (i, f)
+    | Eps ->
+      let i = fresh () and f = fresh () in
+      add_eps i f;
+      (i, f)
+    | Sym s ->
+      let i = fresh () and f = fresh () in
+      add_sym i s f;
+      (i, f)
+    | Seq (a, b) ->
+      let ia, fa = build a in
+      let ib, fb = build b in
+      add_eps fa ib;
+      (ia, fb)
+    | Alt (a, b) ->
+      let i = fresh () and f = fresh () in
+      let ia, fa = build a in
+      let ib, fb = build b in
+      add_eps i ia; add_eps i ib; add_eps fa f; add_eps fb f;
+      (i, f)
+    | Star a ->
+      let i = fresh () and f = fresh () in
+      let ia, fa = build a in
+      add_eps i ia; add_eps fa f; add_eps i f; add_eps fa ia;
+      (i, f)
+  in
+  let initial, accept = build r in
+  let n = !counter in
+  let eps = Array.make n [] in
+  let delta = Array.make n [] in
+  List.iter (fun (a, b) -> eps.(a) <- b :: eps.(a)) !eps_edges;
+  List.iter (fun (a, s, b) -> delta.(a) <- (s, b) :: delta.(a)) !sym_edges;
+  { nstates = n; initial; accept; eps; delta; alphabet = Regex.symbols r }
+
+let num_states a = a.nstates
+let alphabet a = a.alphabet
+
+let closure a (set : Iset.t) : Iset.t =
+  let rec go frontier acc =
+    if Iset.is_empty frontier then acc
+    else begin
+      let next =
+        Iset.fold
+          (fun s nxt ->
+             List.fold_left
+               (fun nxt s' -> if Iset.mem s' acc then nxt else Iset.add s' nxt)
+               nxt a.eps.(s))
+          frontier Iset.empty
+      in
+      go next (Iset.union acc next)
+    end
+  in
+  go set set
+
+let closure_of a states = closure a (Iset.of_list states)
+let start a = closure a (Iset.singleton a.initial)
+let is_accepting a set = Iset.mem a.accept set
+
+let step a set symbol =
+  let post =
+    Iset.fold
+      (fun s acc ->
+         List.fold_left
+           (fun acc (sym, s') -> if sym = symbol then Iset.add s' acc else acc)
+           acc a.delta.(s))
+      set Iset.empty
+  in
+  closure a post
+
+let is_empty_set = Iset.is_empty
+let set_compare = Iset.compare
+let set_elements = Iset.elements
+
+let accepts a word =
+  let final = List.fold_left (step a) (start a) word in
+  is_accepting a final
+
+let iter_transitions a yield =
+  Array.iteri (fun src l -> List.iter (fun (sym, dst) -> yield src sym dst) l) a.delta
+
+let accepting_states a =
+  (* reverse ε-reachability from the accept state *)
+  let rev = Array.make a.nstates [] in
+  Array.iteri (fun src l -> List.iter (fun dst -> rev.(dst) <- src :: rev.(dst)) l) a.eps;
+  let seen = Array.make a.nstates false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter go rev.(s)
+    end
+  in
+  go a.accept;
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) seen;
+  !acc

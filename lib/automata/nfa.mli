@@ -1,0 +1,38 @@
+(** Nondeterministic finite automata with ε-transitions.
+
+    Built from {!Regex} by Thompson's construction; used for RPQ evaluation
+    (product with the graph database) and for the language analyses behind
+    the RPQ dichotomy of Corollary 4.3. *)
+
+type t
+
+type state_set
+(** A set of NFA states. *)
+
+val of_regex : Regex.t -> t
+
+val num_states : t -> int
+val alphabet : t -> string list
+
+val start : t -> state_set
+(** ε-closure of the initial state. *)
+
+val is_accepting : t -> state_set -> bool
+
+val step : t -> state_set -> string -> state_set
+(** One symbol transition followed by ε-closure. *)
+
+val is_empty_set : state_set -> bool
+val set_compare : state_set -> state_set -> int
+val set_elements : state_set -> int list
+
+val accepts : t -> string list -> bool
+
+val iter_transitions : t -> (int -> string -> int -> unit) -> unit
+(** Iterate over all non-ε transitions [(src, symbol, dst)]. *)
+
+val closure_of : t -> int list -> state_set
+(** ε-closure of an arbitrary state list. *)
+
+val accepting_states : t -> int list
+(** States from which an accepting state is ε-reachable. *)

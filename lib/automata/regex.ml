@@ -1,0 +1,184 @@
+type t =
+  | Empty
+  | Eps
+  | Sym of string
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+let empty = Empty
+let eps = Eps
+let sym s = Sym s
+
+(* Smart constructors performing the obvious simplifications; they keep
+   derived analyses (nullability, emptiness) cheap and outputs readable. *)
+let seq a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, r | r, Eps -> r
+  | _ -> Seq (a, b)
+
+let alt a b =
+  match (a, b) with
+  | Empty, r | r, Empty -> r
+  | _ -> if a = b then a else Alt (a, b)
+
+let star = function
+  | Empty | Eps -> Eps
+  | Star _ as r -> r
+  | r -> Star r
+
+let plus r = seq r (star r)
+let opt r = alt Eps r
+let seq_list rs = List.fold_left seq Eps rs
+let alt_list rs = List.fold_left alt Empty rs
+let word w = seq_list (List.map sym w)
+
+let rec nullable = function
+  | Empty | Sym _ -> false
+  | Eps | Star _ -> true
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+
+let rec is_empty_lang = function
+  | Empty -> true
+  | Eps | Sym _ | Star _ -> false
+  | Seq (a, b) -> is_empty_lang a || is_empty_lang b
+  | Alt (a, b) -> is_empty_lang a && is_empty_lang b
+
+let symbols r =
+  let rec go acc = function
+    | Empty | Eps -> acc
+    | Sym s -> s :: acc
+    | Seq (a, b) | Alt (a, b) -> go (go acc a) b
+    | Star a -> go acc a
+  in
+  List.sort_uniq String.compare (go [] r)
+
+let equal = ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let needs_quotes s =
+  (* quotes are needed unless the name re-tokenizes as a single symbol:
+     one letter followed by lowercase letters or digits *)
+  match String.length s with
+  | 0 -> true
+  | n ->
+    let is_letter c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') in
+    let is_cont c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') in
+    not
+      (is_letter s.[0]
+       && (let ok = ref true in
+           for i = 1 to n - 1 do
+             if not (is_cont s.[i]) then ok := false
+           done;
+           !ok))
+
+let rec to_string_prec prec r =
+  (* precedence: Alt = 0, Seq = 1, Star/atom = 2 *)
+  let wrap p s = if p < prec then "(" ^ s ^ ")" else s in
+  match r with
+  | Empty -> "~"
+  | Eps -> "_"
+  | Sym s -> if needs_quotes s then "'" ^ s ^ "'" else s
+  | Alt (Eps, a) | Alt (a, Eps) -> to_string_prec 3 a ^ "?"
+  | Alt (a, b) -> wrap 0 (to_string_prec 0 a ^ "+" ^ to_string_prec 0 b)
+  | Seq (a, b) -> wrap 1 (to_string_prec 1 a ^ to_string_prec 1 b)
+  | Star a -> to_string_prec 3 a ^ "*"
+
+let to_string = to_string_prec 0
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tsym of string
+  | Tlpar
+  | Trpar
+  | Talt
+  | Tstar
+  | Topt
+  | Teps
+  | Tempty
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '.' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Tlpar :: acc)
+      | ')' -> go (i + 1) (Trpar :: acc)
+      | '+' | '|' -> go (i + 1) (Talt :: acc)
+      | '*' -> go (i + 1) (Tstar :: acc)
+      | '?' -> go (i + 1) (Topt :: acc)
+      | '\'' ->
+        let j = try String.index_from s (i + 1) '\'' with Not_found ->
+          invalid_arg "Regex.parse: unterminated quoted symbol"
+        in
+        go (j + 1) (Tsym (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | c when (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ->
+        (* one symbol = a letter plus following lowercase letters/digits, so
+           "AB" is A·B (paper style) while "Road" is a single name *)
+        let j = ref (i + 1) in
+        while
+          !j < n
+          && ((s.[!j] >= 'a' && s.[!j] <= 'z') || (s.[!j] >= '0' && s.[!j] <= '9'))
+        do incr j done;
+        go !j (Tsym (String.sub s i (!j - i)) :: acc)
+      | '~' -> go (i + 1) (Tempty :: acc)
+      | '_' -> go (i + 1) (Teps :: acc)
+      | c -> invalid_arg (Printf.sprintf "Regex.parse: unexpected character %C" c)
+  in
+  go 0 []
+
+(* Recursive descent:  alt := seq ('+' seq)* ;  seq := post+ ;
+   post := atom ('*' | '?')* ;  atom := sym | '(' alt ')' | ε | ∅. *)
+let parse s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let rec parse_alt () =
+    let a = parse_seq () in
+    match peek () with
+    | Some Talt ->
+      advance ();
+      alt a (parse_alt ())
+    | _ -> a
+  and parse_seq () =
+    let a = parse_post () in
+    match peek () with
+    | Some (Tsym _ | Tlpar | Teps | Tempty) -> seq a (parse_seq ())
+    | _ -> a
+  and parse_post () =
+    let a = parse_atom () in
+    let rec stars a =
+      match peek () with
+      | Some Tstar -> advance (); stars (star a)
+      | Some Topt -> advance (); stars (opt a)
+      | _ -> a
+    in
+    stars a
+  and parse_atom () =
+    match peek () with
+    | Some (Tsym name) -> advance (); sym name
+    | Some Tlpar ->
+      advance ();
+      let a = parse_alt () in
+      (match peek () with
+       | Some Trpar -> advance (); a
+       | _ -> invalid_arg "Regex.parse: missing closing parenthesis")
+    | Some Teps -> advance (); eps
+    | Some Tempty -> advance (); empty
+    | _ -> invalid_arg "Regex.parse: unexpected end of input or token"
+  in
+  if !toks = [] then invalid_arg "Regex.parse: empty expression";
+  let r = parse_alt () in
+  if !toks <> [] then invalid_arg "Regex.parse: trailing tokens";
+  r

@@ -1,0 +1,56 @@
+(** Regular expressions over relation-name alphabets.
+
+    RPQ path atoms [L(a,b)] (Section 2) carry a regular language [L] over
+    the binary relation names of the schema.  Concrete syntax follows the
+    paper's conventions: capital-letter symbols juxtaposed ([AB+BA]), [+]
+    or [|] for union, postfix [*] for Kleene star, postfix [?] for option
+    and parentheses.  A symbol is one letter followed by lowercase letters
+    or digits, so [Road Rail] is two symbols while [AB] is [A·B]; other
+    names can be quoted (['X-Y']).  [_] denotes ε and [~] the empty
+    language. *)
+
+type t =
+  | Empty            (** the empty language ∅ *)
+  | Eps              (** the empty word *)
+  | Sym of string    (** a single relation name *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+val empty : t
+val eps : t
+val sym : string -> t
+val seq : t -> t -> t
+val alt : t -> t -> t
+val star : t -> t
+val plus : t -> t
+(** [plus r] is [r · r*]. *)
+
+val opt : t -> t
+(** [opt r] is [ε | r]. *)
+
+val seq_list : t list -> t
+val alt_list : t list -> t
+(** [alt_list [] = Empty], [seq_list [] = Eps]. *)
+
+val word : string list -> t
+(** The singleton language of one word. *)
+
+val symbols : t -> string list
+(** Sorted list of relation names occurring in the expression. *)
+
+val nullable : t -> bool
+(** Whether the language contains the empty word. *)
+
+val is_empty_lang : t -> bool
+(** Whether the language is empty. *)
+
+val equal : t -> t -> bool
+(** Structural equality (not language equivalence). *)
+
+val parse : string -> t
+(** Parse the concrete syntax described above.
+    @raise Invalid_argument on syntax errors. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,283 @@
+module Iset = Set.Make (Int)
+
+(* Forward DP: [reach.(l)] = states reachable from the initial closure by
+   some word of exactly [l] symbols (ε-transitions are free).  Taking unions
+   over words is sound for every *existence* question asked here, because
+   acceptance of some word of length [l] only requires the accept state to
+   appear at layer [l]. *)
+let reach_layers nfa lmax =
+  let layers = Array.make (lmax + 1) Iset.empty in
+  layers.(0) <- Iset.of_list (Nfa.set_elements (Nfa.start nfa));
+  for l = 1 to lmax do
+    let prev = layers.(l - 1) in
+    let post = ref [] in
+    Nfa.iter_transitions nfa (fun src _sym dst ->
+        if Iset.mem src prev then post := dst :: !post);
+    layers.(l) <- Iset.of_list (Nfa.set_elements (Nfa.closure_of nfa !post))
+  done;
+  layers
+
+let accepting_set nfa = Iset.of_list (Nfa.accepting_states nfa)
+
+let exists_length_nfa nfa l =
+  let layers = reach_layers nfa l in
+  let acc = accepting_set nfa in
+  not (Iset.is_empty (Iset.inter layers.(l) acc))
+
+let exists_length r l =
+  if l < 0 then false
+  else exists_length_nfa (Nfa.of_regex r) l
+
+let shortest_length r =
+  let nfa = Nfa.of_regex r in
+  let bound = Nfa.num_states nfa in
+  let layers = reach_layers nfa bound in
+  let acc = accepting_set nfa in
+  let rec go l =
+    if l > bound then None
+    else if not (Iset.is_empty (Iset.inter layers.(l) acc)) then Some l
+    else go (l + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Unboundedness and "word of length ≥ k"                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The word lengths of L are the symbol-edge counts of initial→accept paths
+   in the NFA graph.  Restricting to states that are both reachable and
+   co-reachable: if that subgraph has a cycle containing a symbol edge, the
+   lengths are unbounded; otherwise we condense ε-SCCs and take the longest
+   path in the resulting DAG. *)
+
+let graph_analysis nfa =
+  let n = Nfa.num_states nfa in
+  (* adjacency: (dst, weight) with weight 1 for symbol edges, 0 for ε *)
+  let adj = Array.make n [] in
+  Nfa.iter_transitions nfa (fun src _sym dst -> adj.(src) <- (dst, 1) :: adj.(src));
+  (* ε edges are not exposed by iter_transitions; recover them via closure of
+     singletons. *)
+  for s = 0 to n - 1 do
+    List.iter
+      (fun s' -> if s' <> s then adj.(s) <- (s', 0) :: adj.(s))
+      (Nfa.set_elements (Nfa.closure_of nfa [ s ]))
+  done;
+  (* reachable from start *)
+  let reachable = Array.make n false in
+  let rec fwd s =
+    if not reachable.(s) then begin
+      reachable.(s) <- true;
+      List.iter (fun (t, _) -> fwd t) adj.(s)
+    end
+  in
+  List.iter fwd (Nfa.set_elements (Nfa.start nfa));
+  (* co-reachable to accept *)
+  let radj = Array.make n [] in
+  Array.iteri (fun s l -> List.iter (fun (t, w) -> radj.(t) <- (s, w) :: radj.(t)) l) adj;
+  let coreach = Array.make n false in
+  let rec bwd s =
+    if not coreach.(s) then begin
+      coreach.(s) <- true;
+      List.iter (fun (t, _) -> bwd t) radj.(s)
+    end
+  in
+  List.iter bwd (Nfa.accepting_states nfa);
+  let live s = reachable.(s) && coreach.(s) in
+  (adj, live)
+
+(* Tarjan SCC over the live subgraph. *)
+let sccs adj live n =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp = Array.make n (-1) in
+  let ncomp = ref 0 in
+  let rec strong v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (w, _) ->
+         if live w then begin
+           if index.(w) < 0 then begin
+             strong w;
+             lowlink.(v) <- min lowlink.(v) lowlink.(w)
+           end
+           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+         end)
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          comp.(w) <- !ncomp;
+          if w <> v then pop ()
+      in
+      pop ();
+      incr ncomp
+    end
+  in
+  for v = 0 to n - 1 do
+    if live v && index.(v) < 0 then strong v
+  done;
+  (comp, !ncomp)
+
+type length_profile =
+  | Empty_language
+  | Bounded of int (* maximal word length *)
+  | Unbounded
+
+let length_profile r =
+  if Regex.is_empty_lang r then Empty_language
+  else begin
+    let nfa = Nfa.of_regex r in
+    let n = Nfa.num_states nfa in
+    let adj, live = graph_analysis nfa in
+    match shortest_length r with
+    | None -> Empty_language
+    | Some _ ->
+      let comp, ncomp = sccs adj live n in
+      (* positive-weight edge inside an SCC ⇒ unbounded lengths *)
+      let unbounded = ref false in
+      for v = 0 to n - 1 do
+        if live v then
+          List.iter
+            (fun (w, wt) ->
+               if live w && wt = 1 && comp.(v) = comp.(w) then unbounded := true)
+            adj.(v)
+      done;
+      if !unbounded then Unbounded
+      else begin
+        (* condensation DAG longest path, components numbered in reverse
+           topological order by Tarjan (edges go from higher comp ids to
+           lower in our construction? — safer: iterate relaxation ncomp
+           times, Bellman-Ford style on the DAG). *)
+        let cadj = Array.make ncomp [] in
+        for v = 0 to n - 1 do
+          if live v then
+            List.iter
+              (fun (w, wt) ->
+                 if live w && comp.(v) <> comp.(w) then
+                   cadj.(comp.(v)) <- (comp.(w), wt) :: cadj.(comp.(v)))
+              adj.(v)
+        done;
+        let start_comps =
+          List.filter_map
+            (fun s -> if live s then Some comp.(s) else None)
+            (Nfa.set_elements (Nfa.start nfa))
+        in
+        let accept_comps =
+          List.filter_map
+            (fun s -> if live s then Some comp.(s) else None)
+            (Nfa.accepting_states nfa)
+        in
+        let dist = Array.make ncomp min_int in
+        List.iter (fun c -> dist.(c) <- 0) start_comps;
+        (* DAG: at most ncomp rounds of relaxation reach a fixpoint *)
+        for _ = 1 to ncomp do
+          for c = 0 to ncomp - 1 do
+            if dist.(c) > min_int then
+              List.iter
+                (fun (d, wt) -> if dist.(c) + wt > dist.(d) then dist.(d) <- dist.(c) + wt)
+                cadj.(c)
+          done
+        done;
+        let best =
+          List.fold_left (fun acc c -> max acc dist.(c)) min_int accept_comps
+        in
+        Bounded best
+      end
+  end
+
+let exists_length_geq r k =
+  match length_profile r with
+  | Empty_language -> false
+  | Unbounded -> true
+  | Bounded m -> m >= k
+
+let is_finite r =
+  match length_profile r with
+  | Empty_language | Bounded _ -> true
+  | Unbounded -> false
+
+(* ------------------------------------------------------------------ *)
+(* Word enumeration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let words_of_length ?(limit = 1000) r k =
+  let nfa = Nfa.of_regex r in
+  let alphabet = Nfa.alphabet nfa in
+  (* co-reachability layers for pruning: [colayers.(l)] = states from which
+     some word of exactly [l] symbols is accepted *)
+  let n = Nfa.num_states nfa in
+  let colayers = Array.make (k + 1) Iset.empty in
+  colayers.(0) <- accepting_set nfa;
+  (* reverse symbol edges with ε-closure on the source side: s can do one
+     symbol step into layer if closure(s) has a symbol edge into it. *)
+  for l = 1 to k do
+    let prev = colayers.(l - 1) in
+    let srcs = ref Iset.empty in
+    Nfa.iter_transitions nfa (fun src _sym dst ->
+        if Iset.mem dst prev then srcs := Iset.add src !srcs);
+    (* any state whose ε-closure meets [srcs] belongs to the layer *)
+    let layer = ref Iset.empty in
+    for s = 0 to n - 1 do
+      let cl = Iset.of_list (Nfa.set_elements (Nfa.closure_of nfa [ s ])) in
+      if not (Iset.is_empty (Iset.inter cl !srcs)) then layer := Iset.add s !layer
+    done;
+    colayers.(l) <- !layer
+  done;
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go set depth word_rev =
+    if !count < limit then begin
+      if depth = k then begin
+        if Nfa.is_accepting nfa set then begin
+          results := List.rev word_rev :: !results;
+          incr count
+        end
+      end
+      else begin
+        let states = Iset.of_list (Nfa.set_elements set) in
+        if not (Iset.is_empty (Iset.inter states colayers.(k - depth))) then
+          List.iter
+            (fun sym ->
+               let next = Nfa.step nfa set sym in
+               if not (Nfa.is_empty_set next) then go next (depth + 1) (sym :: word_rev))
+            alphabet
+      end
+    end
+  in
+  if k >= 0 then go (Nfa.start nfa) 0 [];
+  List.rev !results
+
+let shortest_word r =
+  match shortest_length r with
+  | None -> None
+  | Some l ->
+    (match words_of_length ~limit:1 r l with
+     | w :: _ -> Some w
+     | [] -> None)
+
+let some_word_of_length_geq r k =
+  match length_profile r with
+  | Empty_language -> None
+  | Bounded m when m < k -> None
+  | _ ->
+    let nfa = Nfa.of_regex r in
+    let bound = k + Nfa.num_states nfa in
+    let rec scan l =
+      if l > bound then None
+      else
+        match words_of_length ~limit:1 r l with
+        | w :: _ -> Some w
+        | [] -> scan (l + 1)
+    in
+    scan (max k 0)

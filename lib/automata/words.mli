@@ -1,0 +1,35 @@
+(** Word-level analyses of regular languages.
+
+    The RPQ dichotomy (Corollary 4.3) turns on whether the language contains
+    a word of length at least 3; Lemma B.1's pseudo-connectedness witness
+    needs some word of length at least 2; minimal supports of RPQs are
+    simple paths labelled by accepted words. *)
+
+val shortest_length : Regex.t -> int option
+(** Length of a shortest accepted word ([None] for the empty language). *)
+
+val shortest_word : Regex.t -> string list option
+
+val exists_length_geq : Regex.t -> int -> bool
+(** Whether the language contains a word of length ≥ k. *)
+
+val exists_length : Regex.t -> int -> bool
+(** Whether the language contains a word of length exactly k. *)
+
+val some_word_of_length_geq : Regex.t -> int -> string list option
+(** A witness word of length ≥ k, of minimal such length, if any. *)
+
+val words_of_length : ?limit:int -> Regex.t -> int -> string list list
+(** All accepted words of length exactly [k] (at most [limit], default
+    1000). *)
+
+val is_finite : Regex.t -> bool
+(** Whether the language is finite, i.e. the RPQ is trivially bounded. *)
+
+type length_profile =
+  | Empty_language
+  | Bounded of int    (** maximal word length *)
+  | Unbounded
+
+val length_profile : Regex.t -> length_profile
+

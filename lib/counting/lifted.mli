@@ -1,0 +1,23 @@
+(** Lifted (intensional) FGMC evaluation for safe UCQs.
+
+    {!Safety} certifies queries as safe by lifted-inference rules; this
+    module {e executes} those same rules on generating polynomials, making
+    every [Safe] verdict constructive:
+
+    - CQ rules: coring, independent join of vocabulary-disjoint
+      variable-components, independent project on a separator variable,
+      read-once single atoms (as in {!Safe_plan}, generalized beyond
+      self-join-free queries to everything the rules reach);
+    - UCQ rules: independent union of vocabulary-disjoint groups
+      (complement product) and inclusion–exclusion over the conjunctions
+      of disjuncts.
+
+    Functions return [None] when the rules get stuck — by construction
+    exactly when {!Safety} does not answer [Safe] (tested invariant). *)
+
+val cq : Cq.t -> Database.t -> Poly.Z.t option
+val ucq : Ucq.t -> Database.t -> Poly.Z.t option
+
+val fgmc_polynomial : Ucq.t -> Database.t -> Poly.Z.t
+(** @raise Invalid_argument when the rules get stuck (query not certified
+    safe). *)

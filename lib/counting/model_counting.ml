@@ -1,0 +1,34 @@
+let fgmc_polynomial q db =
+  let phi = Lineage.lineage q db in
+  Compile.size_polynomial ~universe:(Database.endo_list db) phi
+
+let fgmc q db n = Poly.Z.coeff (fgmc_polynomial q db) n
+let gmc q db = Poly.Z.total (fgmc_polynomial q db)
+
+let require_purely_endogenous name db =
+  if not (Fact.Set.is_empty (Database.exo db)) then
+    invalid_arg (name ^ ": database has exogenous facts (use the generalized variant)")
+
+let fmc_polynomial q db =
+  require_purely_endogenous "Model_counting.fmc" db;
+  fgmc_polynomial q db
+
+let fmc q db n =
+  require_purely_endogenous "Model_counting.fmc" db;
+  fgmc q db n
+
+let mc q db =
+  require_purely_endogenous "Model_counting.mc" db;
+  gmc q db
+
+let fgmc_polynomial_brute q db =
+  let exo = Database.exo db in
+  Database.fold_endo_subsets
+    (fun s acc ->
+       if Query.eval q (Fact.Set.union s exo) then
+         Poly.Z.add acc (Poly.Z.monomial Bigint.one (Fact.Set.cardinal s))
+       else acc)
+    db Poly.Z.zero
+
+let fgmc_brute q db n = Poly.Z.coeff (fgmc_polynomial_brute q db) n
+let gmc_brute q db = Poly.Z.total (fgmc_polynomial_brute q db)

@@ -1,0 +1,36 @@
+(** The model counting problems of Section 3.2.
+
+    For a Boolean query [q] and partitioned database [D = (Dₙ, Dₓ)]:
+
+    - [GMC_q(D)]     = #{S ⊆ Dₙ | S ⊎ Dₓ ⊨ q};
+    - [FGMC_q(D, n)] = #{S ⊆ Dₙ | |S| = n, S ⊎ Dₓ ⊨ q};
+    - [MC] / [FMC]   = the same with [Dₓ = ∅].
+
+    The full vector [(FGMC_q(D, j))_j] is the size-generating polynomial of
+    the query's lineage, which the lineage-based implementations compute in
+    one pass. *)
+
+val fgmc_polynomial : Query.t -> Database.t -> Poly.Z.t
+(** Coefficient [j] is [FGMC_q(D, j)]; lineage-based. *)
+
+val fgmc : Query.t -> Database.t -> int -> Bigint.t
+val gmc : Query.t -> Database.t -> Bigint.t
+
+val fmc_polynomial : Query.t -> Database.t -> Poly.Z.t
+(** @raise Invalid_argument if the database has exogenous facts. *)
+
+val fmc : Query.t -> Database.t -> int -> Bigint.t
+(** @raise Invalid_argument if the database has exogenous facts. *)
+
+val mc : Query.t -> Database.t -> Bigint.t
+(** @raise Invalid_argument if the database has exogenous facts. *)
+
+(** {1 Brute force}
+
+    Independent implementations by explicit enumeration of the [2^|Dₙ|]
+    subsets — the ground truth the test suite validates everything
+    against. *)
+
+val fgmc_polynomial_brute : Query.t -> Database.t -> Poly.Z.t
+val fgmc_brute : Query.t -> Database.t -> int -> Bigint.t
+val gmc_brute : Query.t -> Database.t -> Bigint.t

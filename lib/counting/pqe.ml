@@ -1,0 +1,50 @@
+let pqe q pdb =
+  let db = Prob_db.to_database pdb in
+  let phi = Lineage.lineage q db in
+  Compile.probability ~prob:(Prob_db.prob pdb) phi
+
+let pqe_brute q pdb =
+  let db = Prob_db.to_database pdb in
+  let exo = Database.exo db in
+  Database.fold_endo_subsets
+    (fun s acc ->
+       let world_prob =
+         Fact.Set.fold
+           (fun f acc ->
+              let p = Prob_db.prob pdb f in
+              Rational.mul acc
+                (if Fact.Set.mem f s then p else Rational.sub Rational.one p))
+           (Database.endo db) Rational.one
+       in
+       if Query.eval q (Fact.Set.union s exo) then Rational.add acc world_prob else acc)
+    db Rational.zero
+
+let sppqe_of_polynomial poly ~n p =
+  if Rational.sign p <= 0 || Rational.compare p Rational.one > 0 then
+    invalid_arg "Pqe.sppqe: probability must lie in (0, 1]";
+  if Rational.equal p Rational.one then
+    (* every endogenous fact certain: q holds iff the full database does,
+       i.e. iff FGMC_n ≠ 0 *)
+    (if Bigint.is_zero (Poly.Z.coeff poly n) then Rational.zero else Rational.one)
+  else begin
+    let z = Rational.div p (Rational.sub Rational.one p) in
+    let numer = Poly.Z.eval_rational poly z in
+    let denom = Rational.pow (Rational.add Rational.one z) n in
+    Rational.div numer denom
+  end
+
+let sppqe q db p =
+  let poly = Model_counting.fgmc_polynomial q db in
+  sppqe_of_polynomial poly ~n:(Database.size_endo db) p
+
+let spqe q db p =
+  if not (Fact.Set.is_empty (Database.exo db)) then
+    invalid_arg "Pqe.spqe: database has exogenous facts (use sppqe)";
+  sppqe q db p
+
+let pqe_half_one q db = sppqe q db Rational.half
+
+let pqe_half q db =
+  if not (Fact.Set.is_empty (Database.exo db)) then
+    invalid_arg "Pqe.pqe_half: database has exogenous facts (use pqe_half_one)";
+  pqe_half_one q db

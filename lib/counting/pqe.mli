@@ -1,0 +1,37 @@
+(** Probabilistic query evaluation and its restrictions (Section 3.3).
+
+    [PQE_q(D) = Pr(D ⊨ q)] for a tuple-independent probabilistic database.
+    The restrictions fix the image of the probability assignment:
+    [PQE(1/2)], [PQE(1/2; 1)], [SPQE] (a single probability [p]) and
+    [SPPQE] (probabilities [{p, 1}]). *)
+
+val pqe : Query.t -> Prob_db.t -> Rational.t
+(** Lineage-based weighted model counting. *)
+
+val pqe_brute : Query.t -> Prob_db.t -> Rational.t
+(** Explicit enumeration of the possible worlds (ground truth). *)
+
+val sppqe : Query.t -> Database.t -> Rational.t -> Rational.t
+(** [sppqe q db p]: probability of [q] when every endogenous fact has
+    probability [p] and every exogenous fact probability 1, computed from
+    the FGMC generating polynomial via the identity of Claim A.2:
+    [(1+z)^n · Pr = Σ_j z^j · FGMC_j] with [z = p/(1-p)].
+    @raise Invalid_argument if [p ∉ (0, 1]]. *)
+
+val spqe : Query.t -> Database.t -> Rational.t -> Rational.t
+(** As {!sppqe} on a purely endogenous database.
+    @raise Invalid_argument if the database has exogenous facts. *)
+
+val sppqe_of_polynomial : Poly.Z.t -> n:int -> Rational.t -> Rational.t
+(** The Claim A.2 evaluation itself: from the FGMC polynomial of a database
+    with [n] endogenous facts to the SPPQE probability at [p]. *)
+
+val pqe_half_one : Query.t -> Database.t -> Rational.t
+(** [PQE(1/2; 1)]: every endogenous fact has probability 1/2, every
+    exogenous fact probability 1.  Satisfies [Pr = GMC / 2^n] — the
+    equivalence of the "probabilistic evaluation" and "model counting"
+    boxes of Figure 1a. *)
+
+val pqe_half : Query.t -> Database.t -> Rational.t
+(** [PQE(1/2)]: the purely endogenous restriction, [Pr = MC / 2^n].
+    @raise Invalid_argument if the database has exogenous facts. *)

@@ -1,0 +1,56 @@
+type t = Rational.t Fact.Map.t
+
+let check_prob p =
+  if Rational.sign p <= 0 || Rational.compare p Rational.one > 0 then
+    invalid_arg "Prob_db: probabilities must lie in (0, 1]"
+
+let make assoc =
+  List.fold_left
+    (fun acc (f, p) ->
+       check_prob p;
+       if Fact.Map.mem f acc then invalid_arg "Prob_db.make: repeated fact";
+       Fact.Map.add f p acc)
+    Fact.Map.empty assoc
+
+let uniform db p =
+  check_prob p;
+  let with_endo =
+    Fact.Set.fold (fun f acc -> Fact.Map.add f p acc) (Database.endo db) Fact.Map.empty
+  in
+  Fact.Set.fold (fun f acc -> Fact.Map.add f Rational.one acc) (Database.exo db) with_endo
+
+let facts t = Fact.Map.fold (fun f _ acc -> Fact.Set.add f acc) t Fact.Set.empty
+let prob t f = Fact.Map.find f t
+
+let to_database t =
+  let endo, exo =
+    Fact.Map.fold
+      (fun f p (endo, exo) ->
+         if Rational.equal p Rational.one then (endo, Fact.Set.add f exo)
+         else (Fact.Set.add f endo, exo))
+      t
+      (Fact.Set.empty, Fact.Set.empty)
+  in
+  Database.of_sets ~endo ~exo
+
+let image t =
+  let probs = Fact.Map.fold (fun _ p acc -> p :: acc) t [] in
+  List.sort_uniq Rational.compare probs
+
+let proper_image t = List.filter (fun p -> not (Rational.equal p Rational.one)) (image t)
+
+let is_spqe_instance t = List.length (image t) <= 1
+let is_sppqe_instance t = List.length (proper_image t) <= 1
+let is_half_instance t = image t = [ Rational.half ]
+
+let is_half_one_instance t =
+  List.for_all
+    (fun p -> Rational.equal p Rational.half || Rational.equal p Rational.one)
+    (image t)
+
+let pp fmt t =
+  Format.fprintf fmt "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+       (fun f (fact, p) -> Format.fprintf f "%a:%a" Fact.pp fact Rational.pp p))
+    (Fact.Map.bindings t)

@@ -1,0 +1,38 @@
+(** Tuple-independent probabilistic databases (Section 3.3).
+
+    A pair [(S, π)] with [π : S → (0, 1]]; the associated partitioned
+    database puts the probability-1 facts in [Dₓ] and the rest in [Dₙ]. *)
+
+type t
+
+val make : (Fact.t * Rational.t) list -> t
+(** @raise Invalid_argument if a probability is outside (0, 1] or a fact is
+    repeated. *)
+
+val uniform : Database.t -> Rational.t -> t
+(** Endogenous facts get the given probability, exogenous facts get 1.
+    @raise Invalid_argument if the probability is outside (0, 1]. *)
+
+val facts : t -> Fact.Set.t
+val prob : t -> Fact.t -> Rational.t
+(** @raise Not_found on facts absent from the database. *)
+
+val to_database : t -> Database.t
+(** The associated partitioned database. *)
+
+val image : t -> Rational.t list
+(** The distinct probability values in use, sorted. *)
+
+val is_spqe_instance : t -> bool
+(** [Im π = {p}] for a single [p] (the SPQE restriction). *)
+
+val is_sppqe_instance : t -> bool
+(** [Im π ⊆ {p, 1}] for a single [p] (the SPPQE restriction). *)
+
+val is_half_instance : t -> bool
+(** [Im π = {1/2}] (the PQE(1/2) restriction). *)
+
+val is_half_one_instance : t -> bool
+(** [Im π ⊆ {1/2, 1}] (the PQE(1/2; 1) restriction). *)
+
+val pp : Format.formatter -> t -> unit

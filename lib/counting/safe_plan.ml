@@ -1,0 +1,117 @@
+let one_plus_z_pow k = Poly.Z.of_coeffs (List.init (k + 1) (fun i -> Bigint.binomial k i))
+
+let complement ~n p = Poly.Z.sub (one_plus_z_pow n) p
+
+(* Does [fact] match [atom] (same relation, constants agree, repeated
+   variables consistent)? *)
+let matches atom fact =
+  Option.is_some (Homomorphism.find_valuation ~into:(Fact.Set.singleton fact) [ atom ])
+
+let atom_of_rel atoms rel = List.find_opt (fun a -> Atom.rel a = rel) atoms
+
+(* positions of variable [x] in [atom] *)
+let var_positions x atom =
+  let rec go i = function
+    | [] -> []
+    | Term.Var v :: rest when v = x -> i :: go (i + 1) rest
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (Atom.args atom)
+
+(* the value of fact [f] at the separator positions of its atom, if
+   consistent *)
+let separator_value x atoms f =
+  match atom_of_rel atoms (Fact.rel f) with
+  | None -> None
+  | Some atom ->
+    (match var_positions x atom with
+     | [] -> None
+     | positions ->
+       let args = Array.of_list (Fact.args f) in
+       let values = List.map (fun i -> args.(i)) positions in
+       (match values with
+        | v :: rest when List.for_all (( = ) v) rest -> Some v
+        | _ -> None))
+
+let substitute x c atoms =
+  List.map (Atom.apply (Term.Smap.singleton x (Term.const c))) atoms
+
+(* [go atoms endo exo] returns the size-generating polynomial over exactly
+   the universe [endo]; [exo] facts are assumed present. *)
+let rec go (atoms : Atom.t list) (endo : Fact.Set.t) (exo : Fact.Set.t) : Poly.Z.t =
+  let n = Fact.Set.cardinal endo in
+  (* split into variable-connected components; self-join-freeness makes
+     their vocabularies disjoint, hence the join independent *)
+  match Incidence.variable_components atoms with
+  | [] -> one_plus_z_pow n (* no atoms: trivially satisfied *)
+  | [ [ atom ] ] ->
+    (* single atom: read-once disjunction of its matching facts *)
+    let matching, free = Fact.Set.partition (matches atom) endo in
+    let m = Fact.Set.cardinal matching and k = Fact.Set.cardinal free in
+    if Fact.Set.exists (matches atom) exo then one_plus_z_pow n
+    else
+      Poly.Z.mul
+        (Poly.Z.sub (one_plus_z_pow m) Poly.Z.one)
+        (one_plus_z_pow k)
+  | [ component ] ->
+    (* one variable-connected component with several atoms: project on a
+       separator variable *)
+    let vars = Cq.vars (Cq.of_atoms component) in
+    let separator =
+      Term.Sset.filter
+        (fun x -> List.for_all (fun a -> Term.Sset.mem x (Atom.vars a)) component)
+        vars
+    in
+    (match Term.Sset.choose_opt separator with
+     | None ->
+       invalid_arg "Safe_plan: connected subquery without separator (not hierarchical)"
+     | Some x ->
+       (* partition facts by their x-value; inconsistent facts are free *)
+       let bucket_of f = separator_value x component f in
+       let values =
+         List.sort_uniq compare
+           (List.filter_map bucket_of
+              (Fact.Set.elements endo @ Fact.Set.elements exo))
+       in
+       let free =
+         Fact.Set.filter (fun f -> bucket_of f = None) endo
+       in
+       let total_bucketed = ref 0 in
+       let complements =
+         List.map
+           (fun c ->
+              let endo_c = Fact.Set.filter (fun f -> bucket_of f = Some c) endo in
+              let exo_c = Fact.Set.filter (fun f -> bucket_of f = Some c) exo in
+              let n_c = Fact.Set.cardinal endo_c in
+              total_bucketed := !total_bucketed + n_c;
+              complement ~n:n_c (go (substitute x c component) endo_c exo_c))
+           values
+       in
+       let not_sat = List.fold_left Poly.Z.mul Poly.Z.one complements in
+       let p_buckets = Poly.Z.sub (one_plus_z_pow !total_bucketed) not_sat in
+       Poly.Z.mul p_buckets (one_plus_z_pow (Fact.Set.cardinal free)))
+  | components ->
+    (* independent join: vocabularies are disjoint (sjf), multiply *)
+    let rels_of comp = Cq.rels (Cq.of_atoms comp) in
+    let used = ref Fact.Set.empty in
+    let product =
+      List.fold_left
+        (fun acc comp ->
+           let rels = rels_of comp in
+           let endo_c = Fact.Set.filter (fun f -> Term.Sset.mem (Fact.rel f) rels) endo in
+           let exo_c = Fact.Set.filter (fun f -> Term.Sset.mem (Fact.rel f) rels) exo in
+           used := Fact.Set.union !used endo_c;
+           Poly.Z.mul acc (go comp endo_c exo_c))
+        Poly.Z.one components
+    in
+    let free = n - Fact.Set.cardinal !used in
+    Poly.Z.mul product (one_plus_z_pow free)
+
+let supported q = Cq.is_self_join_free q && Cq.is_hierarchical q
+
+let fgmc_polynomial q db =
+  if not (Cq.is_self_join_free q) then
+    invalid_arg "Safe_plan.fgmc_polynomial: query has self-joins";
+  if not (Cq.is_hierarchical q) then
+    invalid_arg "Safe_plan.fgmc_polynomial: query is not hierarchical";
+  go (Cq.atoms q) (Database.endo db) (Database.exo db)

@@ -1,0 +1,31 @@
+(** Lifted (intensional) FGMC evaluation for hierarchical self-join-free
+    CQs — the tractable side of the dichotomies, with a polynomial-time
+    guarantee.
+
+    The generic engine ({!Model_counting.fgmc_polynomial}) compiles the
+    lineage by Shannon expansion; on safe queries its heuristics usually
+    find the tractable structure, but nothing guarantees it.  This module
+    evaluates hierarchical sjf-CQs by a {e safe plan} over size-generating
+    polynomials, mirroring the lifted-inference rules used for PQE:
+
+    - {e independent join}: variable-disjoint subqueries (disjoint
+      vocabulary, since the query is self-join-free) multiply their
+      polynomials;
+    - {e independent project}: a separator variable [x] (occurring in every
+      atom) partitions the facts by their [x]-value; the disjunction over
+      values is independent, so complement polynomials multiply:
+      [P̄ = Π_c P̄_c] (padding each factor to its local universe);
+    - {e single atom}: the matching endogenous facts form a read-once
+      disjunction, [P = (1+z)^m - 1] (or [(1+z)^m] if an exogenous fact
+      matches).
+
+    Every step is linear-size arithmetic on polynomials, so the whole
+    evaluation is polynomial in the database — matching the FP side of
+    Proposition 3.1 / Corollary 4.2. *)
+
+val fgmc_polynomial : Cq.t -> Database.t -> Poly.Z.t
+(** @raise Invalid_argument if the query is not a hierarchical
+    self-join-free CQ. *)
+
+val supported : Cq.t -> bool
+(** Whether the query is in the fragment this evaluator covers. *)

@@ -1,0 +1,39 @@
+(** FP / #P-hard classification of [SVC_q] (Figure 1b).
+
+    Each verdict carries the rule that justifies it — a corollary of the
+    paper or a cited prior result.  {!Unknown} means the query falls
+    outside the classes this paper (and our conservative safety test)
+    decides; it is never a wrong answer. *)
+
+type verdict =
+  | FP
+  | SharpP_hard
+  | Unknown
+
+type judgement = {
+  verdict : verdict;
+  rule : string;
+}
+
+val classify : Query.t -> judgement
+
+val verdict_to_string : verdict -> string
+val pp_judgement : Format.formatter -> judgement -> unit
+
+(** {1 Class-specific entry points} *)
+
+val classify_rpq : Rpq.t -> judgement
+(** Corollary 4.3: #P-hard iff the language contains a word of length ≥ 3. *)
+
+val classify_sjf_cq : Cq.t -> judgement
+(** The dichotomy of [11], recovered via Corollary 4.5: FP iff
+    hierarchical.  @raise Invalid_argument if the query has self-joins. *)
+
+val classify_cqneg : Cqneg.t -> judgement
+(** The dichotomy of [12] for sjf-CQ¬ (FP iff hierarchical); our
+    Proposition 6.1 re-derives the hard side for component-guarded
+    negation. *)
+
+val to_ucq_opt : Query.t -> Ucq.t option
+(** Best-effort conversion to an equivalent UCQ (CQ/UCQ combinations and
+    bounded (U)CRPQs); used to funnel classes into the UCQ dichotomy. *)

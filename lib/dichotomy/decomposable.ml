@@ -1,0 +1,41 @@
+type decomposition = {
+  q1 : Query.t;
+  q2 : Query.t;
+  rule : string;
+}
+
+let has_outside_support q =
+  match Query.fresh_support q with
+  | None -> false
+  | Some s -> not (Term.Sset.subset (Fact.Set.consts s) (Query.consts q))
+
+let of_and (q : Query.t) =
+  match q with
+  | Query.And (q1, q2) ->
+    let r1 = Query.rels q1 and r2 = Query.rels q2 in
+    if
+      Term.Sset.is_empty (Term.Sset.inter r1 r2)
+      && has_outside_support q1 && has_outside_support q2
+    then Some { q1; q2; rule = "Lemma 4.5 (disjoint-vocabulary conjunction)" }
+    else None
+  | _ -> None
+
+let of_crpq (crpq : Crpq.t) =
+  if not (Crpq.is_cc_disjoint crpq) then None
+  else
+    match Crpq.components crpq with
+    | [] | [ _ ] -> None
+    | first :: rest ->
+      let q1 = Query.Crpq (Crpq.of_path_atoms (Crpq.path_atoms first)) in
+      let q2 =
+        Query.Crpq (Crpq.of_path_atoms (List.concat_map Crpq.path_atoms rest))
+      in
+      if has_outside_support q1 && has_outside_support q2 then
+        Some { q1; q2; rule = "Corollary 4.6 (cc-disjoint CRPQ)" }
+      else None
+
+let witness (q : Query.t) =
+  match q with
+  | Query.And _ -> of_and q
+  | Query.Crpq crpq -> of_crpq crpq
+  | _ -> None

@@ -1,0 +1,23 @@
+(** Decomposable queries (Section 4.2).
+
+    A C-hom-closed query is decomposable into [q₁ ∧ q₂] when the conjuncts
+    have minimal supports with constants outside [C] and all their minimal
+    supports are disjoint; Lemma 4.4 then applies.  Lemma 4.5: for
+    constant-free hom-closed queries, decomposability is exactly a
+    disjoint-vocabulary conjunction. *)
+
+type decomposition = {
+  q1 : Query.t;
+  q2 : Query.t;
+  rule : string;
+}
+
+val of_and : Query.t -> decomposition option
+(** [And (q1, q2)] with disjoint vocabularies and supports with constants
+    outside C on both sides (Lemma 4.5 shape). *)
+
+val of_crpq : Crpq.t -> decomposition option
+(** A disconnected cc-disjoint CRPQ split into two vocabulary-disjoint
+    halves (Corollary 4.6). *)
+
+val witness : Query.t -> decomposition option

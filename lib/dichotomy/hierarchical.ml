@@ -1,0 +1,23 @@
+let cq = Cq.is_hierarchical
+let cqneg = Cqneg.is_hierarchical
+
+let witness_violation q =
+  let arr = Array.of_list (Cq.atoms q) in
+  let n = Array.length arr in
+  let found = ref None in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        if !found = None then begin
+          let v1 = Atom.vars arr.(i)
+          and v2 = Atom.vars arr.(j)
+          and v3 = Atom.vars arr.(k) in
+          if
+            (not (Term.Sset.subset (Term.Sset.inter v1 v2) v3))
+            && not (Term.Sset.subset (Term.Sset.inter v3 v2) v1)
+          then found := Some (arr.(i), arr.(j), arr.(k))
+        end
+      done
+    done
+  done;
+  !found

@@ -1,0 +1,14 @@
+(** Hierarchical queries.
+
+    A CQ is hierarchical iff no triple of atoms violates the condition of
+    footnote 5; for self-join-free CQs, hierarchical ⇔ safe ⇔ SVC in FP
+    (the dichotomy of [11] recovered in Corollary 4.5).  For sjf-CQ¬, the
+    same condition over positive and negative atoms characterizes the
+    tractable queries ([12]). *)
+
+val cq : Cq.t -> bool
+val cqneg : Cqneg.t -> bool
+
+val witness_violation : Cq.t -> (Atom.t * Atom.t * Atom.t) option
+(** A triple [(α₁, α₂, α₃)] with [vars α₁ ∩ vars α₂ ⊄ vars α₃] and
+    [vars α₃ ∩ vars α₂ ⊄ vars α₁], if any. *)

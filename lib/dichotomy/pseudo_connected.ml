@@ -1,0 +1,110 @@
+type witness = {
+  island : Fact.Set.t;
+  pivot : string;
+  rule : string;
+}
+
+let pick_pivot ~c support =
+  Term.Sset.min_elt_opt (Term.Sset.diff (Fact.Set.consts support) c)
+
+(* Connectivity of the query in the sense of Section 2: every minimal
+   support is connected.  We check syntactic sufficient conditions per
+   language. *)
+let rec is_connected_constant_free (q : Query.t) : bool =
+  match q with
+  | Query.True -> false
+  | Query.Cq cq -> Cq.is_constant_free cq && Cq.is_connected (Cq.core cq)
+  | Query.Ucq ucq ->
+    Ucq.is_constant_free ucq
+    && List.for_all Cq.is_connected (Ucq.disjuncts (Ucq.reduce ucq))
+  | Query.Crpq crpq ->
+    Crpq.is_constant_free crpq
+    && Crpq.is_connected crpq
+    && List.for_all
+      (fun (a : Crpq.path_atom) -> not (Regex.nullable a.lang))
+      (Crpq.path_atoms crpq)
+  | Query.Ucrpq ucrpq ->
+    List.for_all (fun c -> is_connected_constant_free (Query.Crpq c)) (Ucrpq.disjuncts ucrpq)
+  | Query.Rpq _ -> false (* RPQs carry constants; use the Lemma B.1 witness *)
+  | Query.Cqneg _ | Query.Gcq _ -> false (* not hom-closed *)
+  | Query.And _ -> false (* conjunction splits supports; use Lemma 4.4 *)
+  | Query.Or (a, b) -> is_connected_constant_free a && is_connected_constant_free b
+
+let connected_hom_closed q =
+  if not (is_connected_constant_free q) then None
+  else
+    match Query.fresh_support q with
+    | None -> None
+    | Some island ->
+      (match pick_pivot ~c:(Query.consts q) island with
+       | Some pivot -> Some { island; pivot; rule = "Lemma 4.2 (connected hom-closed)" }
+       | None -> None)
+
+let rpq r =
+  match Rpq.fresh_path_support ~min_len:2 r with
+  | None -> None
+  | Some (island, _) ->
+    (match pick_pivot ~c:(Rpq.consts r) island with
+     | Some pivot -> Some { island; pivot; rule = "Lemma B.1 (RPQ, word of length ≥ 2)" }
+     | None -> None)
+
+(* candidate size-1 supports, per language *)
+let rec candidate_singletons (q : Query.t) : Fact.Set.t list =
+  match q with
+  | Query.True | Query.Cqneg _ | Query.Gcq _ | Query.And _ -> []
+  | Query.Cq cq ->
+    let s, _ = Cq.canonical_support (Cq.core cq) in
+    if Fact.Set.cardinal s = 1 then [ s ] else []
+  | Query.Ucq ucq ->
+    List.concat_map
+      (fun d -> candidate_singletons (Query.Cq d))
+      (Ucq.disjuncts (Ucq.reduce ucq))
+  | Query.Rpq r ->
+    (match Rpq.fresh_path_support ~min_len:1 r with
+     | Some (s, _) when Fact.Set.cardinal s = 1 -> [ s ]
+     | _ -> [])
+  | Query.Crpq crpq ->
+    (match Crpq.path_atoms crpq with
+     | [ a ] ->
+       (match Words.some_word_of_length_geq a.lang 1 with
+        | Some [ r ] ->
+          let valuation = Hashtbl.create 2 in
+          let resolve t =
+            match (t : Term.t) with
+            | Term.Const c -> c
+            | Term.Var v ->
+              (match Hashtbl.find_opt valuation v with
+               | Some c -> c
+               | None ->
+                 let c = Term.fresh_const ~prefix:("n" ^ v) () in
+                 Hashtbl.add valuation v c;
+                 c)
+          in
+          [ Fact.Set.singleton (Fact.make r [ resolve a.psrc; resolve a.pdst ]) ]
+        | _ -> [])
+     | _ -> [])
+  | Query.Ucrpq ucrpq ->
+    List.concat_map (fun c -> candidate_singletons (Query.Crpq c)) (Ucrpq.disjuncts ucrpq)
+  | Query.Or (a, b) -> candidate_singletons a @ candidate_singletons b
+
+let duplicable_singleton q =
+  let c = Query.consts q in
+  let ok s =
+    (not (Term.Sset.subset (Fact.Set.consts s) c)) && Query.is_minimal_support q s
+  in
+  match List.find_opt ok (candidate_singletons q) with
+  | None -> None
+  | Some island ->
+    (match pick_pivot ~c island with
+     | Some pivot ->
+       Some { island; pivot; rule = "Corollary 4.4 (duplicable singleton support)" }
+     | None -> None)
+
+let witness q =
+  match connected_hom_closed q with
+  | Some w -> Some w
+  | None ->
+    (match q with
+     | Query.Rpq r ->
+       (match rpq r with Some w -> Some w | None -> duplicable_singleton q)
+     | _ -> duplicable_singleton q)

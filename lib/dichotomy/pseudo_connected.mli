@@ -1,0 +1,31 @@
+(** Pseudo-connectedness witnesses (Section 4.1).
+
+    A C-hom-closed query is pseudo-connected when it has an island minimal
+    support with a constant outside [C]; Lemma 4.1 then gives
+    [FGMC ≤ poly SVC].  Deciding pseudo-connectedness in general is hard;
+    this module implements the sufficient criteria proved in the paper:
+
+    - Lemma 4.2: connected hom-closed queries;
+    - Lemma B.1: RPQs whose language has a word of length ≥ 2;
+    - Corollary 4.4: queries with a duplicable singleton support. *)
+
+type witness = {
+  island : Fact.Set.t;    (** an island minimal support over fresh constants *)
+  pivot : string;         (** a constant of the support outside C *)
+  rule : string;          (** which criterion applied *)
+}
+
+val connected_hom_closed : Query.t -> witness option
+(** Lemma 4.2 applied to connected constant-free (U)CQ / (U)CRPQ queries:
+    checks constant-freeness and connectivity of the minimal supports, then
+    returns a fresh support.  [None] when the criterion does not apply. *)
+
+val rpq : Rpq.t -> witness option
+(** Lemma B.1: a fresh simple path for a word of length ≥ 2. *)
+
+val duplicable_singleton : Query.t -> witness option
+(** Corollary 4.4: a minimal support of size 1 containing a constant
+    outside [C]. *)
+
+val witness : Query.t -> witness option
+(** Try the criteria in order. *)

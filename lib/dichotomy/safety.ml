@@ -1,0 +1,140 @@
+type verdict =
+  | Safe
+  | Unsafe
+  | Unknown
+
+let verdict_to_string = function
+  | Safe -> "safe"
+  | Unsafe -> "unsafe"
+  | Unknown -> "unknown"
+
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_to_string v)
+
+let meet_all combine verdicts =
+  List.fold_left combine Safe verdicts
+
+(* verdict combinators for independent composition: all Safe → Safe, any
+   Unsafe → Unsafe (hardness restricts to the offending part), else
+   Unknown *)
+let independent a b =
+  match (a, b) with
+  | Unsafe, _ | _, Unsafe -> Unsafe
+  | Safe, Safe -> Safe
+  | _ -> Unknown
+
+(* for inclusion–exclusion, unsafety of a term does not transfer
+   (cancellation may remove it) *)
+let ie_combine a b =
+  match (a, b) with
+  | Safe, Safe -> Safe
+  | _ -> Unknown
+
+let rec cq_verdict (q : Cq.t) : verdict =
+  let q = Cq.core q in
+  let atoms = Cq.atoms q in
+  match atoms with
+  | [ _ ] -> Safe
+  | _ ->
+    let comps = Cq.variable_components q in
+    if List.length comps > 1 then begin
+      (* independent join requires pairwise-disjoint vocabularies *)
+      let vocabs = List.map Cq.rels comps in
+      let rec pairwise_disjoint = function
+        | [] -> true
+        | v :: rest ->
+          List.for_all (fun v' -> Term.Sset.is_empty (Term.Sset.inter v v')) rest
+          && pairwise_disjoint rest
+      in
+      if pairwise_disjoint vocabs then
+        meet_all independent (List.map cq_verdict comps)
+      else Unknown
+    end
+    else begin
+      (* single variable-connected component: look for a separator *)
+      let vars = Cq.vars q in
+      let separators =
+        Term.Sset.filter
+          (fun x ->
+             List.for_all (fun a -> Term.Sset.mem x (Atom.vars a)) atoms)
+          vars
+      in
+      match Term.Sset.choose_opt separators with
+      | Some x ->
+        let grounded =
+          Cq.of_atoms
+            (List.map
+               (Atom.apply (Term.Smap.singleton x (Term.const (Term.fresh_const ~prefix:"sep" ()))))
+               atoms)
+        in
+        let sub = cq_verdict grounded in
+        (match sub with
+         | Safe -> Safe
+         | Unsafe -> if Cq.is_self_join_free q then Unsafe else Unknown
+         | Unknown -> Unknown)
+      | None ->
+        (* connected, several atoms, no separator: non-hierarchical core;
+           for self-join-free queries this is exactly the unsafe case *)
+        if Cq.is_self_join_free q then Unsafe else Unknown
+    end
+
+let cq q = cq_verdict q
+
+let conjoin_cqs (cqs : Cq.t list) : Cq.t =
+  (* conjunction with variables renamed apart *)
+  let _, atoms =
+    List.fold_left
+      (fun (avoid, acc) c ->
+         let c' = Cq.rename_apart ~avoid c in
+         (Term.Sset.union avoid (Cq.vars c'), acc @ Cq.atoms c'))
+      (Term.Sset.empty, []) cqs
+  in
+  Cq.of_atoms atoms
+
+let rec ucq_verdict (q : Ucq.t) : verdict =
+  let disjuncts = Ucq.disjuncts (Ucq.reduce q) in
+  match disjuncts with
+  | [ c ] -> cq_verdict c
+  | _ ->
+    (* try independent union: group disjuncts by shared relation names *)
+    let tagged = List.map (fun c -> (c, Cq.rels c)) disjuncts in
+    let rec group groups = function
+      | [] -> groups
+      | (c, vs) :: rest ->
+        let touching, apart =
+          List.partition
+            (fun (_, vs') -> not (Term.Sset.is_empty (Term.Sset.inter vs vs')))
+            groups
+        in
+        let cs = c :: List.concat_map fst touching in
+        let vars = List.fold_left (fun a (_, v) -> Term.Sset.union a v) vs touching in
+        group ((cs, vars) :: apart) rest
+    in
+    (* iterate grouping to a fixpoint *)
+    let rec fix gs =
+      let flat = List.concat_map (fun (cs, _) -> List.map (fun c -> (c, Cq.rels c)) cs) gs in
+      let gs' = group [] flat in
+      if List.length gs' = List.length gs then gs else fix gs'
+    in
+    let groups = fix (group [] tagged) in
+    if List.length groups > 1 then
+      meet_all independent
+        (List.map (fun (cs, _) -> ucq_verdict (Ucq.of_cqs cs)) groups)
+    else begin
+      (* inclusion–exclusion over all non-empty subsets of disjuncts *)
+      let arr = Array.of_list disjuncts in
+      let n = Array.length arr in
+      if n > 6 then Unknown
+      else begin
+        let verdicts = ref [] in
+        for mask = 1 to (1 lsl n) - 1 do
+          let chosen = ref [] in
+          for i = 0 to n - 1 do
+            if mask land (1 lsl i) <> 0 then chosen := arr.(i) :: !chosen
+          done;
+          verdicts := cq_verdict (conjoin_cqs !chosen) :: !verdicts
+        done;
+        meet_all ie_combine !verdicts
+      end
+    end
+
+let ucq q = ucq_verdict q

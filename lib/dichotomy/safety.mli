@@ -1,0 +1,31 @@
+(** Safety of UCQs for probabilistic query evaluation (lifted inference).
+
+    "Safe" queries are those whose PQE (equivalently GMC, Proposition 3.1)
+    is in FP; the Dalvi–Suciu dichotomy says all others are #P-hard.  This
+    module implements the standard lifted-inference rules:
+
+    - {e independent union}: disjuncts over disjoint relation vocabularies;
+    - {e inclusion–exclusion} over the conjunctions of disjuncts;
+    - {e independent join}: variable-connected components over disjoint
+      vocabularies;
+    - {e independent project}: a separator variable occurring in every atom
+      is grounded to a fresh constant.
+
+    The procedure is sound in both directions on self-join-free CQs (where
+    it coincides with the hierarchical criterion) and on unions built from
+    them by the rules above.  It does NOT implement the full Dalvi–Suciu
+    algorithm with cancellations, so it answers {!Unknown} on queries whose
+    (un)safety hinges on cancellation phenomena — the conservative answer
+    is never wrong, merely incomplete.  This is the documented substitution
+    of DESIGN.md §4. *)
+
+type verdict =
+  | Safe
+  | Unsafe
+  | Unknown
+
+val cq : Cq.t -> verdict
+val ucq : Ucq.t -> verdict
+
+val verdict_to_string : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,129 @@
+type satom = {
+  base : string;
+  pattern : string option list;
+  args : Term.t list;
+}
+
+type disjunct = {
+  assignment : string Term.Smap.t;
+  atoms : satom list;
+}
+
+let satom_rel a =
+  a.base ^ "@"
+  ^ String.concat ","
+      (List.map (function Some c -> c | None -> "*") a.pattern)
+
+let specialize ~c (atom : Atom.t) : satom =
+  let pattern, rev_args =
+    List.fold_left
+      (fun (pattern, args) t ->
+         match t with
+         | Term.Const k when Term.Sset.mem k c -> (Some k :: pattern, args)
+         | t -> (None :: pattern, t :: args))
+      ([], []) (Atom.args atom)
+  in
+  { base = Atom.rel atom; pattern = List.rev pattern; args = List.rev rev_args }
+
+let shatter q ~c =
+  if not (Term.Sset.subset (Cq.consts q) c) then
+    invalid_arg "Shatter.shatter: C must contain the query constants";
+  let vars = Term.Sset.elements (Cq.vars q) in
+  let options = None :: List.map (fun k -> Some k) (Term.Sset.elements c) in
+  (* all partial assignments vars → C *)
+  let rec assignments = function
+    | [] -> [ Term.Smap.empty ]
+    | v :: rest ->
+      let tails = assignments rest in
+      List.concat_map
+        (fun choice ->
+           match choice with
+           | None -> tails
+           | Some k -> List.map (Term.Smap.add v k) tails)
+        options
+  in
+  List.map
+    (fun assignment ->
+       let subst = Term.Smap.map Term.const assignment in
+       let atoms =
+         List.map (fun a -> specialize ~c (Atom.apply subst a)) (Cq.atoms q)
+       in
+       { assignment; atoms })
+    (assignments vars)
+
+let satom_vars a =
+  List.fold_left
+    (fun acc t -> match t with Term.Var v -> Term.Sset.add v acc | Term.Const _ -> acc)
+    Term.Sset.empty a.args
+
+let disjunct_vars d =
+  List.fold_left (fun acc a -> Term.Sset.union acc (satom_vars a)) Term.Sset.empty d.atoms
+
+let is_variable_connected d =
+  match d.atoms with
+  | [] | [ _ ] -> true
+  | atoms ->
+    (* union-find over atoms, connected through shared variables *)
+    let arr = Array.of_list atoms in
+    let n = Array.length arr in
+    let parent = Array.init n (fun i -> i) in
+    let rec find i = if parent.(i) = i then i else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri <> rj then parent.(ri) <- rj
+    in
+    let owner : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    Array.iteri
+      (fun i a ->
+         Term.Sset.iter
+           (fun v ->
+              match Hashtbl.find_opt owner v with
+              | None -> Hashtbl.add owner v i
+              | Some j -> union i j)
+           (satom_vars a))
+      arr;
+    let roots = Array.to_list (Array.init n find) in
+    List.length (List.sort_uniq compare roots) <= 1
+
+let unit_arg = "$unit"
+
+let to_atom (a : satom) : Atom.t =
+  let args = if a.args = [] then [ Term.const unit_arg ] else a.args in
+  Atom.make (satom_rel a) args
+
+let shatter_fact ~c (f : Fact.t) : Fact.t =
+  let pattern, rev_args =
+    List.fold_left
+      (fun (pattern, args) k ->
+         if Term.Sset.mem k c then (Some k :: pattern, args)
+         else (None :: pattern, k :: args))
+      ([], []) (Fact.args f)
+  in
+  let sa = { base = Fact.rel f; pattern = List.rev pattern; args = [] } in
+  let args = match List.rev rev_args with [] -> [ unit_arg ] | l -> l in
+  Fact.make (satom_rel sa) args
+
+let shatter_database facts ~c = Fact.Set.map (shatter_fact ~c) facts
+
+let eval_disjunct d facts =
+  Homomorphism.exists_valuation ~into:facts (List.map to_atom d.atoms)
+
+let eval disjuncts facts = List.exists (fun d -> eval_disjunct d facts) disjuncts
+
+let pp_disjunct fmt d =
+  let bindings =
+    Term.Smap.bindings d.assignment
+    |> List.map (fun (v, k) -> Printf.sprintf "%s↦%s" v k)
+  in
+  Format.fprintf fmt "[%s] %s"
+    (String.concat "," bindings)
+    (String.concat " ∧ "
+       (List.map
+          (fun a ->
+             Printf.sprintf "%s(%s)" (satom_rel a)
+               (String.concat "," (List.map Term.to_string a.args)))
+          d.atoms))

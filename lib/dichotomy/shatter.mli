@@ -1,0 +1,58 @@
+(** Query shattering (Section 7 / Example E.1, after [5, §2.5]).
+
+    Shattering eliminates constants from a CQ by case-splitting each
+    variable on whether it equals a query constant: each disjunct fixes
+    some variables to constants of [C] and specializes every atom to a new
+    relation name recording which positions are pinned.  The result is a
+    constant-free union equivalent to the original query over shattered
+    databases.
+
+    The paper's point (Example E.1) is that shattering interacts badly with
+    the connectivity hypotheses of its reductions: a variable-connected
+    query can shatter into disconnected disjuncts.  This module implements
+    enough of the transformation to exhibit that phenomenon and to let the
+    test suite verify semantic equivalence on concrete databases. *)
+
+type satom = {
+  base : string;          (** original relation name *)
+  pattern : string option list;
+      (** one entry per original position: [Some c] if pinned to constant
+          [c], [None] if still carrying a term *)
+  args : Term.t list;     (** the terms of the un-pinned positions *)
+}
+
+type disjunct = {
+  assignment : string Term.Smap.t;  (** variables fixed to constants of C *)
+  atoms : satom list;
+}
+
+val shatter : Cq.t -> c:Term.Sset.t -> disjunct list
+(** All shattering disjuncts of the query w.r.t. the constant set [C]
+    (which must contain the query's constants).
+    @raise Invalid_argument otherwise. *)
+
+val satom_rel : satom -> string
+(** The specialized relation name, e.g. ["R@a,*"] for [R] with first
+    position pinned to [a]. *)
+
+val disjunct_vars : disjunct -> Term.Sset.t
+
+val is_variable_connected : disjunct -> bool
+(** Connectivity of the disjunct's atoms through shared variables —
+    Example E.1's disjunct [R_{a,*}(y) ∧ S_{a,a}() ∧ T_{a,*}(z)] is
+    disconnected. *)
+
+val shatter_database : Fact.Set.t -> c:Term.Sset.t -> Fact.Set.t
+(** Rewrite the facts over the shattered schema: each fact is re-tagged by
+    the pattern of its [C]-constants; nullary shattered facts are
+    represented with the reserved argument ["$unit"]. *)
+
+val eval_disjunct : disjunct -> Fact.Set.t -> bool
+(** Evaluate a disjunct over a shattered database. *)
+
+val eval : disjunct list -> Fact.Set.t -> bool
+(** Evaluation of the whole shattered union over a shattered database;
+    equivalent to evaluating the original query over the original database
+    (tested property). *)
+
+val pp_disjunct : Format.formatter -> disjunct -> unit

@@ -1,0 +1,92 @@
+type t =
+  | True
+  | False
+  | Fv of Fact.t
+  | And of t list
+  | Or of t list
+  | Not of t
+
+let tru = True
+let fls = False
+let fv f = Fv f
+
+let conj parts =
+  let rec gather acc = function
+    | [] -> Some acc
+    | True :: rest -> gather acc rest
+    | False :: _ -> None
+    | And inner :: rest -> gather acc (inner @ rest)
+    | phi :: rest -> gather (phi :: acc) rest
+  in
+  match gather [] parts with
+  | None -> False
+  | Some [] -> True
+  | Some [ phi ] -> phi
+  | Some phis -> And (List.rev phis)
+
+let disj parts =
+  let rec gather acc = function
+    | [] -> Some acc
+    | False :: rest -> gather acc rest
+    | True :: _ -> None
+    | Or inner :: rest -> gather acc (inner @ rest)
+    | phi :: rest -> gather (phi :: acc) rest
+  in
+  match gather [] parts with
+  | None -> True
+  | Some [] -> False
+  | Some [ phi ] -> phi
+  | Some phis -> Or (List.rev phis)
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not phi -> phi
+  | phi -> Not phi
+
+let rec vars = function
+  | True | False -> Fact.Set.empty
+  | Fv f -> Fact.Set.singleton f
+  | And parts | Or parts ->
+    List.fold_left (fun acc p -> Fact.Set.union acc (vars p)) Fact.Set.empty parts
+  | Not phi -> vars phi
+
+let rec eval phi assignment =
+  match phi with
+  | True -> true
+  | False -> false
+  | Fv f -> Fact.Set.mem f assignment
+  | And parts -> List.for_all (fun p -> eval p assignment) parts
+  | Or parts -> List.exists (fun p -> eval p assignment) parts
+  | Not phi -> not (eval phi assignment)
+
+let rec condition f b phi =
+  match phi with
+  | True -> True
+  | False -> False
+  | Fv f' -> if Fact.equal f f' then (if b then True else False) else phi
+  | And parts -> conj (List.map (condition f b) parts)
+  | Or parts -> disj (List.map (condition f b) parts)
+  | Not phi -> neg (condition f b phi)
+
+let rec size = function
+  | True | False | Fv _ -> 1
+  | And parts | Or parts -> List.fold_left (fun acc p -> acc + size p) 1 parts
+  | Not phi -> 1 + size phi
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "⊤"
+  | False -> Format.pp_print_string fmt "⊥"
+  | Fv f -> Fact.pp fmt f
+  | And parts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ∧ ") pp)
+      parts
+  | Or parts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ∨ ") pp)
+      parts
+  | Not phi -> Format.fprintf fmt "¬%a" pp phi

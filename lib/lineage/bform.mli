@@ -1,0 +1,39 @@
+(** Boolean formulas over fact variables (lineage expressions).
+
+    The lineage of a query [q] over a partitioned database [D] is a Boolean
+    function of the endogenous facts describing exactly which sub-databases
+    satisfy [q]; every counting and probabilistic problem of Section 3 is a
+    computation on this function. *)
+
+type t =
+  | True
+  | False
+  | Fv of Fact.t                (** a fact variable *)
+  | And of t list
+  | Or of t list
+  | Not of t
+
+val tru : t
+val fls : t
+val fv : Fact.t -> t
+
+val conj : t list -> t
+(** Flattening, constant-folding conjunction. *)
+
+val disj : t list -> t
+val neg : t -> t
+
+val vars : t -> Fact.Set.t
+
+val eval : t -> Fact.Set.t -> bool
+(** Truth value under the assignment "facts in the set are true". *)
+
+val condition : Fact.t -> bool -> t -> t
+(** [condition f b phi] substitutes [b] for [f] and simplifies. *)
+
+val size : t -> int
+(** Node count. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,195 @@
+type stats = { cache_hits : int; cache_misses : int }
+
+module Cache = Hashtbl.Make (struct
+    type t = Bform.t
+
+    let equal = Bform.equal
+    let hash = Hashtbl.hash
+  end)
+
+(* (1 + z)^k *)
+let one_plus_z_pow k =
+  Poly.Z.of_coeffs (List.init (k + 1) (fun i -> Bigint.binomial k i))
+
+(* Split a list of juncts into variable-disjoint groups (the decomposition
+   rule, applied to conjunctions directly and to disjunctions through
+   complementation). *)
+let components ~rebuild (parts : Bform.t list) : (Bform.t * Fact.Set.t) list =
+  let tagged = List.map (fun p -> (p, Bform.vars p)) parts in
+  let rec merge groups = function
+    | [] -> groups
+    | (p, vs) :: rest ->
+      let touching, apart =
+        List.partition
+          (fun (_, vs') -> not (Fact.Set.is_empty (Fact.Set.inter vs vs')))
+          groups
+      in
+      let merged_parts = p :: List.concat_map (fun (ps, _) -> ps) touching in
+      let merged_vars =
+        List.fold_left (fun acc (_, vs') -> Fact.Set.union acc vs') vs touching
+      in
+      merge ((merged_parts, merged_vars) :: apart) rest
+  in
+  List.map (fun (ps, vs) -> (rebuild ps, vs)) (merge [] tagged)
+
+let and_components = components ~rebuild:Bform.conj
+let or_components = components ~rebuild:Bform.disj
+
+(* Pick the most frequently occurring variable (fail-first branching). *)
+let pick_variable phi =
+  let counts : (Fact.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec scan = function
+    | Bform.True | Bform.False -> ()
+    | Bform.Fv f ->
+      Hashtbl.replace counts f (1 + Option.value ~default:0 (Hashtbl.find_opt counts f))
+    | Bform.And ps | Bform.Or ps -> List.iter scan ps
+    | Bform.Not p -> scan p
+  in
+  scan phi;
+  Hashtbl.fold
+    (fun f c best ->
+       match best with
+       | Some (_, c') when c' >= c -> best
+       | _ -> Some (f, c))
+    counts None
+  |> Option.map fst
+
+(* Core counter over exactly vars(phi); callers pad with (1+z)^free. *)
+let size_polynomial_core ~memo phi0 =
+  let hits = ref 0 and misses = ref 0 in
+  let cache : Poly.Z.t Cache.t = Cache.create 256 in
+  let pad target_vars poly sub_vars =
+    (* poly counts over sub_vars; pad to count over target_vars minus the
+       conditioned variable *)
+    let missing = target_vars - 1 - sub_vars in
+    if missing = 0 then poly else Poly.Z.mul poly (one_plus_z_pow missing)
+  in
+  let rec count phi =
+    match phi with
+    | Bform.True -> Poly.Z.one
+    | Bform.False -> Poly.Z.zero
+    | _ ->
+      let cached = if memo then Cache.find_opt cache phi else None in
+      (match cached with
+       | Some p ->
+         incr hits;
+         p
+       | None ->
+         incr misses;
+         let result =
+           let nvars = Fact.Set.cardinal (Bform.vars phi) in
+           match phi with
+           | Bform.And parts when memo ->
+             (match and_components parts with
+              | [ _ ] | [] -> shannon phi nvars
+              | comps ->
+                (* independent join: sizes add, polynomials multiply *)
+                List.fold_left
+                  (fun acc (sub, _) -> Poly.Z.mul acc (count sub))
+                  Poly.Z.one comps)
+           | Bform.Or parts when memo ->
+             (match or_components parts with
+              | [ _ ] | [] -> shannon phi nvars
+              | comps ->
+                (* independent union: complements multiply,
+                   P = (1+z)^n - Π ((1+z)^{nᵢ} - Pᵢ) *)
+                let not_sat =
+                  List.fold_left
+                    (fun acc (sub, vs) ->
+                       let n_i = Fact.Set.cardinal vs in
+                       Poly.Z.mul acc (Poly.Z.sub (one_plus_z_pow n_i) (count sub)))
+                    Poly.Z.one comps
+                in
+                Poly.Z.sub (one_plus_z_pow nvars) not_sat)
+           | _ -> shannon phi nvars
+         in
+         if memo then Cache.replace cache phi result;
+         result)
+  and shannon phi nvars =
+    match pick_variable phi with
+    | None -> assert false (* non-constant formula has a variable *)
+    | Some v ->
+      let phi1 = Bform.condition v true phi in
+      let phi0 = Bform.condition v false phi in
+      let p1 = count phi1 in
+      let p0 = count phi0 in
+      let n1 = Fact.Set.cardinal (Bform.vars phi1) in
+      let n0 = Fact.Set.cardinal (Bform.vars phi0) in
+      Poly.Z.add
+        (Poly.Z.shift 1 (pad nvars p1 n1))
+        (pad nvars p0 n0)
+  in
+  let result = count phi0 in
+  (result, { cache_hits = !hits; cache_misses = !misses })
+
+let check_universe ~universe phi =
+  let uset = Fact.Set.of_list universe in
+  if not (Fact.Set.subset (Bform.vars phi) uset) then
+    invalid_arg "Compile: formula mentions a fact outside the universe"
+
+let size_polynomial_stats ~universe phi =
+  check_universe ~universe phi;
+  let core, stats = size_polynomial_core ~memo:true phi in
+  let free = List.length universe - Fact.Set.cardinal (Bform.vars phi) in
+  (Poly.Z.mul core (one_plus_z_pow free), stats)
+
+let size_polynomial ~universe phi = fst (size_polynomial_stats ~universe phi)
+
+let size_polynomial_naive ~universe phi =
+  check_universe ~universe phi;
+  let core, _ = size_polynomial_core ~memo:false phi in
+  let free = List.length universe - Fact.Set.cardinal (Bform.vars phi) in
+  Poly.Z.mul core (one_plus_z_pow free)
+
+let count_models ~universe phi = Poly.Z.total (size_polynomial ~universe phi)
+
+(* Weighted (probability) variant. *)
+let probability_with ~memo ~prob phi0 =
+  let cache : Rational.t Cache.t = Cache.create 256 in
+  let rec go phi =
+    match phi with
+    | Bform.True -> Rational.one
+    | Bform.False -> Rational.zero
+    | _ ->
+      (match (if memo then Cache.find_opt cache phi else None) with
+       | Some p -> p
+       | None ->
+         let result =
+           match phi with
+           | Bform.And parts when memo ->
+             (match and_components parts with
+              | [ _ ] | [] -> shannon phi
+              | comps ->
+                List.fold_left
+                  (fun acc (sub, _) -> Rational.mul acc (go sub))
+                  Rational.one comps)
+           | Bform.Or parts when memo ->
+             (match or_components parts with
+              | [ _ ] | [] -> shannon phi
+              | comps ->
+                (* independent union: Pr = 1 - Π (1 - Prᵢ) *)
+                let not_sat =
+                  List.fold_left
+                    (fun acc (sub, _) ->
+                       Rational.mul acc (Rational.sub Rational.one (go sub)))
+                    Rational.one comps
+                in
+                Rational.sub Rational.one not_sat)
+           | _ -> shannon phi
+         in
+         if memo then Cache.replace cache phi result;
+         result)
+  and shannon phi =
+    match pick_variable phi with
+    | None -> assert false
+    | Some v ->
+      let pv = prob v in
+      let p1 = go (Bform.condition v true phi) in
+      let p0 = go (Bform.condition v false phi) in
+      Rational.add (Rational.mul pv p1)
+        (Rational.mul (Rational.sub Rational.one pv) p0)
+  in
+  go phi0
+
+let probability ~prob phi = probability_with ~memo:true ~prob phi
+let probability_naive ~prob phi = probability_with ~memo:false ~prob phi

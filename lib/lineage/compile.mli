@@ -1,0 +1,37 @@
+(** Model counting on lineage formulas by memoized Shannon expansion.
+
+    The central routine computes the {e size-generating polynomial} of a
+    formula over a variable universe: the coefficient of [z^j] counts the
+    satisfying assignments with exactly [j] variables set to true.  This
+    single polynomial answers the whole family of problems of Section 3:
+
+    - [FGMC_j] is coefficient [j] (over universe [Dₙ]);
+    - [GMC] is the total [p(1)];
+    - [SPPQE] at probability [p] is [p(z)/(1+z)^n] for [z = p/(1-p)]
+      (Claim A.2);
+    - arbitrary tuple-independent [PQE] is the weighted variant below.
+
+    The expansion conditions on one variable at a time, memoizes on the
+    simplified sub-formula, and multiplies variable-disjoint conjuncts
+    (the d-DNNF-style decomposition rule). *)
+
+type stats = { cache_hits : int; cache_misses : int }
+
+val size_polynomial : universe:Fact.t list -> Bform.t -> Poly.Z.t
+(** @raise Invalid_argument if the formula mentions a fact outside the
+    universe. *)
+
+val size_polynomial_stats : universe:Fact.t list -> Bform.t -> Poly.Z.t * stats
+
+val size_polynomial_naive : universe:Fact.t list -> Bform.t -> Poly.Z.t
+(** No memoization, no decomposition: Shannon expansion only (ablation
+    baseline). *)
+
+val count_models : universe:Fact.t list -> Bform.t -> Bigint.t
+(** Total number of satisfying assignments over the universe. *)
+
+val probability : prob:(Fact.t -> Rational.t) -> Bform.t -> Rational.t
+(** Probability that the formula is true when each fact variable [f] is
+    independently true with probability [prob f]. *)
+
+val probability_naive : prob:(Fact.t -> Rational.t) -> Bform.t -> Rational.t

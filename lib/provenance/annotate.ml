@@ -1,0 +1,38 @@
+let cq (type a) (module R : Semiring.S with type t = a) ~(annot : Fact.t -> a) (q : Cq.t)
+    (facts : Fact.Set.t) : a =
+  let total = ref R.zero in
+  Homomorphism.iter_valuations ~into:facts (Cq.atoms q) (fun s ->
+      let term =
+        List.fold_left
+          (fun acc atom ->
+             let f = Fact.of_atom (Atom.apply (Term.Smap.map Term.const s) atom) in
+             R.times acc (annot f))
+          R.one (Cq.atoms q)
+      in
+      total := R.plus !total term);
+  !total
+
+let ucq (type a) (module R : Semiring.S with type t = a) ~annot (q : Ucq.t) facts : a =
+  List.fold_left
+    (fun acc d -> R.plus acc (cq (module R) ~annot d facts))
+    R.zero (Ucq.disjuncts q)
+
+let provenance_polynomial q facts =
+  cq (module Semiring.Nx) ~annot:Semiring.Nx.var q facts
+
+let lineage_of_provenance q db =
+  let p = provenance_polynomial q (Database.all db) in
+  let boolean_image =
+    Semiring.Nx.specialize
+      (module Semiring.Nx)
+      (fun f -> if Database.mem_exo f db then Semiring.Nx.one else Semiring.Nx.var f)
+      p
+  in
+  Semiring.Nx.to_lineage boolean_image
+
+let hom_count q facts =
+  cq (module Semiring.Counting) ~annot:(fun _ -> Bigint.one) q facts
+
+let min_cost ~cost q facts =
+  Semiring.Tropical.finite
+    (cq (module Semiring.Tropical) ~annot:(fun f -> Semiring.Tropical.of_int (cost f)) q facts)

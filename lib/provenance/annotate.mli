@@ -1,0 +1,35 @@
+(** Annotated evaluation of monotone queries in a commutative semiring.
+
+    For a Boolean CQ, the annotation is the sum over all valuations of the
+    product of the annotations of the matched facts; for a UCQ, the sum
+    over disjuncts.  Specializations recover familiar quantities:
+
+    - {!Semiring.Bool}: satisfaction;
+    - {!Semiring.Counting}: the number of homomorphisms;
+    - {!Semiring.Tropical}: the minimum-cost derivation;
+    - {!Semiring.Nx}: the full provenance polynomial, whose Boolean image
+      is (an unreduced form of) the query lineage.
+
+    RPQs/CRPQs are excluded: cyclic graphs make their derivation sums
+    infinite, which needs ω-continuous star semirings (out of scope). *)
+
+val cq :
+  (module Semiring.S with type t = 'a) -> annot:(Fact.t -> 'a) -> Cq.t -> Fact.Set.t -> 'a
+
+val ucq :
+  (module Semiring.S with type t = 'a) -> annot:(Fact.t -> 'a) -> Ucq.t -> Fact.Set.t -> 'a
+
+val provenance_polynomial : Cq.t -> Fact.Set.t -> Semiring.Nx.t
+(** Annotation in ℕ[X] with each fact annotated by its own variable. *)
+
+val lineage_of_provenance : Cq.t -> Database.t -> Bform.t
+(** The Boolean image of the provenance polynomial, restricted to the
+    endogenous facts (exogenous facts absorb to ⊤) — logically equivalent
+    to {!Lineage.lineage} (tested), though not support-minimized. *)
+
+val hom_count : Cq.t -> Fact.Set.t -> Bigint.t
+(** Number of satisfying valuations (counting-semiring specialization). *)
+
+val min_cost : cost:(Fact.t -> int) -> Cq.t -> Fact.Set.t -> int option
+(** Cheapest derivation under per-fact costs (tropical specialization);
+    [None] when the query is unsatisfied. *)

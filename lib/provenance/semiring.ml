@@ -1,0 +1,166 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Bool = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let plus = ( || )
+  let times = ( && )
+  let equal = Bool.equal
+  let pp = Format.pp_print_bool
+end
+
+module Counting = struct
+  type t = Bigint.t
+
+  let zero = Bigint.zero
+  let one = Bigint.one
+  let plus = Bigint.add
+  let times = Bigint.mul
+  let equal = Bigint.equal
+  let pp = Bigint.pp
+end
+
+module Tropical = struct
+  type t = Finite of int | Infinity
+
+  let zero = Infinity
+  let one = Finite 0
+
+  let plus a b =
+    match (a, b) with
+    | Infinity, x | x, Infinity -> x
+    | Finite m, Finite n -> Finite (min m n)
+
+  let times a b =
+    match (a, b) with
+    | Infinity, _ | _, Infinity -> Infinity
+    | Finite m, Finite n -> Finite (m + n)
+
+  let equal = ( = )
+  let of_int n = Finite n
+  let finite = function Finite n -> Some n | Infinity -> None
+
+  let pp fmt = function
+    | Infinity -> Format.pp_print_string fmt "∞"
+    | Finite n -> Format.pp_print_int fmt n
+end
+
+module Nx = struct
+  (* a monomial is a multiset of facts: fact -> exponent (> 0) *)
+  module Monomial = struct
+    type t = int Fact.Map.t
+
+    let compare = Fact.Map.compare Int.compare
+    let one = Fact.Map.empty
+
+    let times a b =
+      Fact.Map.union (fun _ e1 e2 -> Some (e1 + e2)) a b
+
+    let var f = Fact.Map.singleton f 1
+  end
+
+  module Mmap = Map.Make (Monomial)
+
+  (* polynomial: monomial -> coefficient (non-zero) *)
+  type t = Bigint.t Mmap.t
+
+  let zero = Mmap.empty
+  let const c = if Bigint.is_zero c then zero else Mmap.singleton Monomial.one c
+  let one = const Bigint.one
+  let var f = Mmap.singleton (Monomial.var f) Bigint.one
+
+  let plus a b =
+    Mmap.union
+      (fun _ c1 c2 ->
+         let c = Bigint.add c1 c2 in
+         if Bigint.is_zero c then None else Some c)
+      a b
+
+  let times a b =
+    Mmap.fold
+      (fun ma ca acc ->
+         Mmap.fold
+           (fun mb cb acc ->
+              let m = Monomial.times ma mb in
+              let c = Bigint.mul ca cb in
+              Mmap.update m
+                (function
+                  | None -> Some c
+                  | Some c' ->
+                    let s = Bigint.add c c' in
+                    if Bigint.is_zero s then None else Some s)
+                acc)
+           b acc)
+      a zero
+
+  let equal = Mmap.equal Bigint.equal
+
+  let monomials p =
+    List.map (fun (m, c) -> (c, Fact.Map.bindings m)) (Mmap.bindings p)
+
+  let specialize (type a) (module R : S with type t = a) (valuation : Fact.t -> a) (p : t) : a =
+    Mmap.fold
+      (fun m c acc ->
+         let coeff =
+           (* c · 1 = 1 + 1 + ... (c times); compute by doubling *)
+           let rec of_bigint c =
+             if Bigint.is_zero c then R.zero
+             else begin
+               let q, r = Bigint.divmod c Bigint.two in
+               let half = of_bigint q in
+               let dbl = R.plus half half in
+               if Bigint.is_zero r then dbl else R.plus dbl R.one
+             end
+           in
+           of_bigint c
+         in
+         let term =
+           Fact.Map.fold
+             (fun f e acc ->
+                let v = valuation f in
+                let rec pow acc e = if e = 0 then acc else pow (R.times acc v) (e - 1) in
+                pow acc e)
+             m coeff
+         in
+         R.plus acc term)
+      p R.zero
+
+  let to_lineage p =
+    Bform.disj
+      (List.map
+         (fun (m, _) ->
+            Bform.conj (List.map (fun (f, _) -> Bform.fv f) (Fact.Map.bindings m)))
+         (Mmap.bindings p))
+
+  let pp fmt p =
+    if Mmap.is_empty p then Format.pp_print_string fmt "0"
+    else begin
+      let pp_mono fmt (m, c) =
+        let factors =
+          List.map
+            (fun (f, e) ->
+               if e = 1 then Fact.to_string f
+               else Printf.sprintf "%s^%d" (Fact.to_string f) e)
+            (Fact.Map.bindings m)
+        in
+        if factors = [] then Bigint.pp fmt c
+        else if Bigint.equal c Bigint.one then
+          Format.pp_print_string fmt (String.concat "·" factors)
+        else Format.fprintf fmt "%a·%s" Bigint.pp c (String.concat "·" factors)
+      in
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.pp_print_string f " + ")
+        pp_mono fmt (Mmap.bindings p)
+    end
+end

@@ -1,0 +1,57 @@
+(** Commutative semirings for provenance annotations (Green et al.'s
+    framework; the paper's home turf per its CCS classification).
+
+    The Boolean lineage used throughout this library is the image of the
+    most general annotation — the provenance polynomial over ℕ[X] — under
+    the specialization to the Boolean semiring; {!Annotate} computes
+    annotations for monotone queries in any instance. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The Boolean semiring ({true, false}, ∨, ∧): plain satisfaction. *)
+module Bool : S with type t = bool
+
+(** The counting semiring (ℕ, +, ×): number of derivations
+    (homomorphisms). *)
+module Counting : S with type t = Bigint.t
+
+(** The tropical semiring (ℕ ∪ {∞}, min, +): minimal derivation cost.
+    [zero] is ∞ and [one] is 0. *)
+module Tropical : sig
+  include S
+
+  val of_int : int -> t
+  val finite : t -> int option
+  (** [None] on ∞. *)
+end
+
+(** Provenance polynomials ℕ[X] over fact variables — the free commutative
+    semiring: sums of monomials with multiplicities, each monomial a
+    multiset of facts. *)
+module Nx : sig
+  include S
+
+  val var : Fact.t -> t
+  val const : Bigint.t -> t
+
+  val monomials : t -> (Bigint.t * (Fact.t * int) list) list
+  (** Coefficient and factored monomial (fact, exponent) pairs, in a
+      canonical order. *)
+
+  val specialize : (module S with type t = 'a) -> (Fact.t -> 'a) -> t -> 'a
+  (** Evaluate the polynomial in another semiring under a fact
+      valuation — the universality of ℕ[X]. *)
+
+  val to_lineage : t -> Bform.t
+  (** The Boolean image: each monomial becomes the conjunction of its
+      facts, the sum a disjunction. *)
+end

@@ -1,0 +1,115 @@
+type t = { pos : Atom.t list; neg : Atom.t list }
+
+let atoms_vars atoms =
+  List.fold_left (fun acc a -> Term.Sset.union acc (Atom.vars a)) Term.Sset.empty atoms
+
+let make ~pos ~neg =
+  if pos = [] then invalid_arg "Cqneg.make: empty positive part";
+  let pos_vars = atoms_vars pos in
+  List.iter
+    (fun a ->
+       if not (Term.Sset.subset (Atom.vars a) pos_vars) then
+         invalid_arg "Cqneg.make: unsafe negation (variable not in positive part)")
+    neg;
+  { pos = List.sort_uniq Atom.compare pos; neg = List.sort_uniq Atom.compare neg }
+
+let pos q = q.pos
+let neg q = q.neg
+
+let vars q = Term.Sset.union (atoms_vars q.pos) (atoms_vars q.neg)
+
+let consts q =
+  List.fold_left
+    (fun acc a -> Term.Sset.union acc (Atom.consts a))
+    Term.Sset.empty (q.pos @ q.neg)
+
+let rels q =
+  List.fold_left (fun acc a -> Term.Sset.add (Atom.rel a) acc) Term.Sset.empty (q.pos @ q.neg)
+
+let eval q facts =
+  let found = ref false in
+  (try
+     Homomorphism.iter_valuations ~into:facts q.pos (fun s ->
+         let bad =
+           List.exists
+             (fun a ->
+                let ground = Atom.apply (Term.Smap.map Term.const s) a in
+                match Fact.of_atom_opt ground with
+                | Some f -> Fact.Set.mem f facts
+                | None ->
+                  (* unconstrained variable in a negative atom cannot occur
+                     by the safety check, so this is unreachable *)
+                  assert false)
+             q.neg
+         in
+         if not bad then begin
+           found := true;
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let is_self_join_free q =
+  let all = q.pos @ q.neg in
+  Term.Sset.cardinal (rels q) = List.length all
+
+let is_hierarchical q =
+  (* same triple condition as for CQs, ranging over positive and negative
+     atoms alike ([12]) *)
+  Cq.is_hierarchical (Cq.of_atoms (q.pos @ q.neg))
+
+let positive_variable_components q =
+  let comps = Cq.variable_components (Cq.of_atoms q.pos) in
+  List.map
+    (fun comp ->
+       let cvars = Cq.vars comp in
+       let guarded =
+         List.filter
+           (fun a ->
+              let av = Atom.vars a in
+              (not (Term.Sset.is_empty av)) && Term.Sset.subset av cvars)
+           q.neg
+       in
+       (comp, guarded))
+    comps
+
+let has_component_guarded_negation q =
+  let comps = positive_variable_components q in
+  List.for_all
+    (fun a ->
+       Term.Sset.is_empty (Atom.vars a)
+       || List.exists (fun (comp, _) -> Term.Sset.subset (Atom.vars a) (Cq.vars comp)) comps)
+    q.neg
+
+let parse s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+       match c with
+       | '(' -> incr depth; Buffer.add_char buf c
+       | ')' -> decr depth; Buffer.add_char buf c
+       | ',' when !depth = 0 ->
+         parts := Buffer.contents buf :: !parts;
+         Buffer.clear buf
+       | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  let pos, neg =
+    List.fold_left
+      (fun (pos, neg) part ->
+         let part = String.trim part in
+         if part = "" then (pos, neg)
+         else if part.[0] = '!' then
+           (pos, Cq.atoms (Cq.parse (String.sub part 1 (String.length part - 1))) @ neg)
+         else (Cq.atoms (Cq.parse part) @ pos, neg))
+      ([], []) (List.rev !parts)
+  in
+  make ~pos ~neg
+
+let to_string q =
+  String.concat ", "
+    (List.map Atom.to_string q.pos @ List.map (fun a -> "!" ^ Atom.to_string a) q.neg)
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

@@ -1,0 +1,43 @@
+(** Conjunctive queries with safe negation (Section 6.2, after [12]).
+
+    A CQ¬ has positive atoms [q⁺] and negated atoms [q⁻], with the safety
+    condition that every variable of a negative atom occurs in some positive
+    atom.  [D ⊨ q] iff some valuation of the variables sends every positive
+    atom into [D] and no negative atom into [D]. *)
+
+type t
+
+val make : pos:Atom.t list -> neg:Atom.t list -> t
+(** @raise Invalid_argument if [pos] is empty or a negative atom uses a
+    variable absent from the positive part (unsafe negation). *)
+
+val pos : t -> Atom.t list
+val neg : t -> Atom.t list
+
+val vars : t -> Term.Sset.t
+val consts : t -> Term.Sset.t
+val rels : t -> Term.Sset.t
+
+val eval : t -> Fact.Set.t -> bool
+
+val is_self_join_free : t -> bool
+(** No two atoms (positive or negative) share a relation name. *)
+
+val is_hierarchical : t -> bool
+(** The hierarchy condition of footnote 5 over {e all} atoms, as in [12]. *)
+
+val positive_variable_components : t -> (Cq.t * Atom.t list) list
+(** Maximal variable-connected subqueries [q⁺ᵥ꜀] of the positive part, each
+    paired with the negative atoms whose variables all lie inside it (the
+    [q⁻ᵥ꜀] of Proposition 6.1). *)
+
+val has_component_guarded_negation : t -> bool
+(** Every negative atom's variable set is contained in a single maximal
+    variable-connected positive component (Section 6.2). *)
+
+val parse : string -> t
+(** Comma-separated atoms, negated ones prefixed by ["!"], e.g.
+    ["R(?x), S(?x,?y), !T(?y)"]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,191 @@
+type cond =
+  | Catom of Atom.t
+  | Cand of cond list
+  | Cor of cond list
+  | Cnot of cond
+
+type t = { guards : Atom.t list; conds : cond list }
+
+let rec cond_atoms = function
+  | Catom a -> [ a ]
+  | Cand cs | Cor cs -> List.concat_map cond_atoms cs
+  | Cnot c -> cond_atoms c
+
+let atoms_vars atoms =
+  List.fold_left (fun acc a -> Term.Sset.union acc (Atom.vars a)) Term.Sset.empty atoms
+
+let make ~guards ~cond =
+  if guards = [] then invalid_arg "Gcq.make: empty guard set";
+  let gvars = atoms_vars guards in
+  List.iter
+    (fun c ->
+       if not (Term.Sset.subset (atoms_vars (cond_atoms c)) gvars) then
+         invalid_arg "Gcq.make: condition variable not covered by the guards")
+    cond;
+  { guards = List.sort_uniq Atom.compare guards; conds = cond }
+
+let guards q = q.guards
+let conditions q = q.conds
+
+let all_atoms q = q.guards @ List.concat_map cond_atoms q.conds
+
+let vars q = atoms_vars (all_atoms q)
+
+let consts q =
+  List.fold_left
+    (fun acc a -> Term.Sset.union acc (Atom.consts a))
+    Term.Sset.empty (all_atoms q)
+
+let rels q =
+  List.fold_left (fun acc a -> Term.Sset.add (Atom.rel a) acc) Term.Sset.empty (all_atoms q)
+
+let guard_rels q =
+  List.fold_left (fun acc a -> Term.Sset.add (Atom.rel a) acc) Term.Sset.empty q.guards
+
+let cond_rels q =
+  List.fold_left
+    (fun acc a -> Term.Sset.add (Atom.rel a) acc)
+    Term.Sset.empty
+    (List.concat_map cond_atoms q.conds)
+
+let rec eval_cond subst facts = function
+  | Catom a ->
+    let ground = Atom.apply (Term.Smap.map Term.const subst) a in
+    (match Fact.of_atom_opt ground with
+     | Some f -> Fact.Set.mem f facts
+     | None -> invalid_arg "Gcq: condition atom not fully instantiated")
+  | Cand cs -> List.for_all (eval_cond subst facts) cs
+  | Cor cs -> List.exists (eval_cond subst facts) cs
+  | Cnot c -> not (eval_cond subst facts c)
+
+let eval q facts =
+  let found = ref false in
+  (try
+     Homomorphism.iter_valuations ~into:facts q.guards (fun s ->
+         if List.for_all (eval_cond s facts) q.conds then begin
+           found := true;
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let is_guard_self_join_free q =
+  Term.Sset.cardinal (guard_rels q) = List.length q.guards
+
+let guards_disjoint_from_conditions q =
+  Term.Sset.is_empty (Term.Sset.inter (guard_rels q) (cond_rels q))
+
+let has_variable_free_condition_atom q =
+  List.exists
+    (fun a -> Term.Sset.is_empty (Atom.vars a))
+    (List.concat_map cond_atoms q.conds)
+
+let guard_variable_components q =
+  let comps = Cq.variable_components (Cq.of_atoms q.guards) in
+  List.map
+    (fun comp ->
+       let cvars = Cq.vars comp in
+       let inside =
+         List.filter
+           (fun c -> Term.Sset.subset (atoms_vars (cond_atoms c)) cvars)
+           q.conds
+       in
+       (comp, inside))
+    comps
+
+let of_cqneg qn =
+  make ~guards:(Cqneg.pos qn)
+    ~cond:(List.map (fun a -> Cnot (Catom a)) (Cqneg.neg qn))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* split [s] on [sep] at parenthesis depth 0 *)
+let split_top sep s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '(' -> incr depth; Buffer.add_char buf ch
+       | ')' -> decr depth; Buffer.add_char buf ch
+       | c when c = sep && !depth = 0 ->
+         parts := Buffer.contents buf :: !parts;
+         Buffer.clear buf
+       | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts
+
+let rec parse_item (s : string) : cond =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Gcq.parse: empty item";
+  if s.[0] = '!' then Cnot (parse_item (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '(' && s.[String.length s - 1] = ')'
+          && (* the closing paren must match the opening one *)
+          (let depth = ref 0 and closes_early = ref false in
+           String.iteri
+             (fun i ch ->
+                if ch = '(' then incr depth
+                else if ch = ')' then begin
+                  decr depth;
+                  if !depth = 0 && i < String.length s - 1 then closes_early := true
+                end)
+             s;
+           not !closes_early)
+  then parse_expr (String.sub s 1 (String.length s - 2))
+  else begin
+    (* a plain atom, reuse the CQ atom syntax *)
+    match Cq.atoms (Cq.parse s) with
+    | [ a ] -> Catom a
+    | _ -> invalid_arg "Gcq.parse: expected a single atom"
+  end
+
+and parse_expr (s : string) : cond =
+  match split_top '|' s with
+  | [ single ] ->
+    (match split_top '&' single with
+     | [ one ] -> parse_item one
+     | conjuncts -> Cand (List.map parse_item conjuncts))
+  | disjuncts ->
+    Cor
+      (List.map
+         (fun d ->
+            match split_top '&' d with
+            | [ one ] -> parse_item one
+            | conjuncts -> Cand (List.map parse_item conjuncts))
+         disjuncts)
+
+let parse s =
+  let items = split_top ',' s in
+  let guards, conds =
+    List.fold_left
+      (fun (guards, conds) item ->
+         if item = "" then (guards, conds)
+         else if item.[0] = '!' || item.[0] = '(' then
+           (guards, parse_item item :: conds)
+         else
+           match Cq.atoms (Cq.parse item) with
+           | [ a ] -> (a :: guards, conds)
+           | _ -> invalid_arg "Gcq.parse: expected a single atom per item")
+      ([], []) items
+  in
+  make ~guards:(List.rev guards) ~cond:(List.rev conds)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec cond_to_string = function
+  | Catom a -> Atom.to_string a
+  | Cand cs -> "(" ^ String.concat " & " (List.map cond_to_string cs) ^ ")"
+  | Cor cs -> "(" ^ String.concat " | " (List.map cond_to_string cs) ^ ")"
+  | Cnot c -> "!" ^ cond_to_string c
+
+let to_string q =
+  String.concat ", "
+    (List.map Atom.to_string q.guards @ List.map cond_to_string q.conds)
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

@@ -1,0 +1,66 @@
+(** Guarded generalized conjunctive queries: CQs with an arbitrary
+    quantifier-free Boolean condition (Appendix D.2.3).
+
+    The sjf-1RA¬ examples of the paper (Examples D.1 and D.2) go beyond
+    CQ¬: their negations nest and contain several atoms, e.g.
+
+    {v
+      q₁ = ∃x,y  D(x) ∧ S(x,y) ∧ A(y) ∧ ¬(B(y) ∧ ¬C(y))
+      q₂ = ∃x,y  S(x,y) ∧ ¬(A(x) ∧ B(y))
+    v}
+
+    A guarded generalized CQ is an existentially quantified conjunction of
+    {e guard} atoms (positive, covering every variable) and an arbitrary
+    {e condition} in negation normal form over further atoms whose
+    variables all occur in the guards.  Evaluation ranges over valuations
+    of the guards, as for CQ¬. *)
+
+(** Quantifier-free Boolean conditions over atoms. *)
+type cond =
+  | Catom of Atom.t
+  | Cand of cond list
+  | Cor of cond list
+  | Cnot of cond
+
+type t
+
+val make : guards:Atom.t list -> cond:cond list -> t
+(** @raise Invalid_argument if [guards] is empty or some condition variable
+    does not occur in the guards (unsafe). *)
+
+val guards : t -> Atom.t list
+val conditions : t -> cond list
+
+val vars : t -> Term.Sset.t
+val consts : t -> Term.Sset.t
+val rels : t -> Term.Sset.t
+val guard_rels : t -> Term.Sset.t
+val cond_rels : t -> Term.Sset.t
+
+val eval : t -> Fact.Set.t -> bool
+
+val is_guard_self_join_free : t -> bool
+(** No two guard atoms share a relation name. *)
+
+val guards_disjoint_from_conditions : t -> bool
+(** The guard and condition vocabularies do not intersect (a hypothesis of
+    Lemma D.2). *)
+
+val has_variable_free_condition_atom : t -> bool
+(** Whether some condition atom has no variable (the [α_k] of Lemma D.2,
+    unsupported by the reduction implementation). *)
+
+val guard_variable_components : t -> (Cq.t * cond list) list
+(** Maximal variable-connected subqueries of the guard set, each with the
+    conditions whose variables lie entirely inside it. *)
+
+val of_cqneg : Cqneg.t -> t
+(** CQ¬ is the special case where every condition is a negated atom. *)
+
+val parse : string -> t
+(** Comma-separated items: positive atoms are guards; other items are
+    conditions built from atoms with [!] (negation), [&], [|] and
+    parentheses, e.g. ["D(?x), S(?x,?y), A(?y), !(B(?y) & !C(?y))"]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+let parse s =
+  let s = String.trim s in
+  if String.lowercase_ascii s = "true" then Query.True
+  else begin
+    let tag, body =
+      match String.index_opt s ':' with
+      | Some i when i < 8 ->
+        ( String.lowercase_ascii (String.trim (String.sub s 0 i)),
+          String.sub s (i + 1) (String.length s - i - 1) )
+      | _ -> ("cq", s)
+    in
+    match tag with
+    | "cq" -> Query.Cq (Cq.parse body)
+    | "ucq" -> Query.Ucq (Ucq.parse body)
+    | "rpq" ->
+      (* parse as a single-atom CRPQ, then require constant endpoints *)
+      (match Crpq.path_atoms (Crpq.parse body) with
+       | [ { lang; psrc = Term.Const a; pdst = Term.Const b } ] ->
+         Query.Rpq (Rpq.make lang ~src:a ~dst:b)
+       | [ _ ] -> invalid_arg "Query_parse: RPQ endpoints must be constants"
+       | _ -> invalid_arg "Query_parse: an RPQ is a single path atom")
+    | "crpq" -> Query.Crpq (Crpq.parse body)
+    | "ucrpq" -> Query.Ucrpq (Ucrpq.parse body)
+    | "cqneg" -> Query.Cqneg (Cqneg.parse body)
+    | "gcq" -> Query.Gcq (Gcq.parse body)
+    | _ -> invalid_arg (Printf.sprintf "Query_parse: unknown language tag %S" tag)
+  end

@@ -1,0 +1,19 @@
+(** Front-end parser for the unified {!Query.t} type.
+
+    Syntax: an optional language tag followed by the language-specific
+    body (variables are [?]-prefixed everywhere):
+
+    {v
+      cq:    R(?x,?y), S(?y,b)
+      ucq:   R(?x) | S(?x,?y)
+      rpq:   (A B* C)(s, t)
+      crpq:  (AB+BA)(?x,a), C(?x,?y)
+      ucrpq: A(?x,?y) | (BC)(?x,a)
+      cqneg: R(?x), S(?x,?y), !T(?y)
+      true
+    v}
+
+    Without a tag, [cq:] is assumed. *)
+
+val parse : string -> Query.t
+(** @raise Invalid_argument on syntax errors. *)

@@ -1,0 +1,98 @@
+type t = { lang : Regex.t; src : string; dst : string }
+
+let make lang ~src ~dst = { lang; src; dst }
+let of_string s ~src ~dst = { lang = Regex.parse s; src; dst }
+
+let lang q = q.lang
+let src q = q.src
+let dst q = q.dst
+let consts q = Term.Sset.of_list [ q.src; q.dst ]
+let rels q = Term.Sset.of_list (Regex.symbols q.lang)
+
+(* Binary facts as labelled edges. *)
+let edges facts =
+  Fact.Set.fold
+    (fun f acc -> match Fact.args f with [ a; b ] -> (a, Fact.rel f, b) :: acc | _ -> acc)
+    facts []
+
+(* Product reachability: explore (node, nfa-state-set) pairs from [start]. *)
+let reachable_from (nfa : Nfa.t) (es : (string * string * string) list) (origin : string) :
+  (string * Nfa.state_set) list =
+  let module M = Map.Make (String) in
+  (* successor edges by source node *)
+  let out =
+    List.fold_left
+      (fun m (a, r, b) ->
+         M.update a (function None -> Some [ (r, b) ] | Some l -> Some ((r, b) :: l)) m)
+      M.empty es
+  in
+  let visited : (string, Nfa.state_set list) Hashtbl.t = Hashtbl.create 16 in
+  let seen node set =
+    let sets = Option.value ~default:[] (Hashtbl.find_opt visited node) in
+    List.exists (fun s -> Nfa.set_compare s set = 0) sets
+  in
+  let mark node set =
+    let sets = Option.value ~default:[] (Hashtbl.find_opt visited node) in
+    Hashtbl.replace visited node (set :: sets)
+  in
+  let queue = Queue.create () in
+  let push node set =
+    if (not (Nfa.is_empty_set set)) && not (seen node set) then begin
+      mark node set;
+      Queue.add (node, set) queue
+    end
+  in
+  push origin (Nfa.start nfa);
+  while not (Queue.is_empty queue) do
+    let node, set = Queue.pop queue in
+    let succs = Option.value ~default:[] (M.find_opt node out) in
+    List.iter (fun (r, b) -> push b (Nfa.step nfa set r)) succs
+  done;
+  Hashtbl.fold (fun node sets acc -> List.map (fun s -> (node, s)) sets @ acc) visited []
+
+let eval q facts =
+  (Regex.nullable q.lang && q.src = q.dst)
+  ||
+  let nfa = Nfa.of_regex q.lang in
+  let es = edges facts in
+  List.exists
+    (fun (node, set) -> node = q.dst && Nfa.is_accepting nfa set)
+    (reachable_from nfa es q.src)
+
+let reachable_pairs lang facts =
+  let nfa = Nfa.of_regex lang in
+  let es = edges facts in
+  let nodes =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (a, _, b) -> [ a; b ]) es)
+  in
+  let from_node c =
+    List.filter_map
+      (fun (node, set) -> if Nfa.is_accepting nfa set then Some (c, node) else None)
+      (reachable_from nfa es c)
+  in
+  let pairs = List.concat_map from_node nodes in
+  let eps_pairs = if Regex.nullable lang then List.map (fun c -> (c, c)) nodes else [] in
+  List.sort_uniq compare (pairs @ eps_pairs)
+
+let fresh_path_support ?(min_len = 1) q =
+  match Words.some_word_of_length_geq q.lang min_len with
+  | None -> None
+  | Some word ->
+    let l = List.length word in
+    let node i =
+      if i = 0 then q.src
+      else if i = l then q.dst
+      else Term.fresh_const ~prefix:"p" ()
+    in
+    let nodes = Array.init (l + 1) node in
+    let facts =
+      List.mapi (fun i r -> Fact.make r [ nodes.(i); nodes.(i + 1) ]) word
+    in
+    Some (Fact.Set.of_list facts, word)
+
+let is_pseudo_connected q = Words.exists_length_geq q.lang 2
+let dichotomy_hard q = Words.exists_length_geq q.lang 3
+
+let to_string q = Printf.sprintf "%s(%s,%s)" (Regex.to_string q.lang) q.src q.dst
+let pp fmt q = Format.pp_print_string fmt (to_string q)

@@ -1,0 +1,25 @@
+type t = Crpq.t list
+
+let of_crpqs l =
+  if l = [] then invalid_arg "Ucrpq.of_crpqs: empty union";
+  l
+
+let of_crpq c = [ c ]
+let disjuncts q = q
+
+let consts q =
+  List.fold_left (fun acc c -> Term.Sset.union acc (Crpq.consts c)) Term.Sset.empty q
+
+let rels q = List.fold_left (fun acc c -> Term.Sset.union acc (Crpq.rels c)) Term.Sset.empty q
+let eval q facts = List.exists (fun c -> Crpq.eval c facts) q
+let is_constant_free q = List.for_all Crpq.is_constant_free q
+
+let to_ucq ~max_len q =
+  let expanded = List.map (Crpq.to_ucq ~max_len) q in
+  if List.exists Option.is_none expanded then None
+  else
+    Some (Ucq.of_cqs (List.concat_map (fun u -> Ucq.disjuncts (Option.get u)) expanded))
+
+let parse s = of_crpqs (List.map Crpq.parse (String.split_on_char '|' s))
+let to_string q = String.concat " | " (List.map Crpq.to_string q)
+let pp fmt q = Format.pp_print_string fmt (to_string q)

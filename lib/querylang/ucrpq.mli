@@ -1,0 +1,23 @@
+(** Unions of conjunctive regular path queries (Section 2). *)
+
+type t
+
+val of_crpqs : Crpq.t list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val disjuncts : t -> Crpq.t list
+val of_crpq : Crpq.t -> t
+
+val consts : t -> Term.Sset.t
+val rels : t -> Term.Sset.t
+val eval : t -> Fact.Set.t -> bool
+val is_constant_free : t -> bool
+
+val to_ucq : max_len:int -> t -> Ucq.t option
+(** Bounded expansion of every disjunct (see {!Crpq.to_ucq}). *)
+
+val parse : string -> t
+(** Disjuncts separated by ["|"], each in {!Crpq.parse} syntax. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Shapley value of constants: [SVC_q^const ≡ poly FGMC_q^const]
+    (Proposition 6.3).
+
+    Stated for hom-closed queries; the implementation also accepts
+    C-hom-closed queries whose fresh support has no fact entirely over [C],
+    provided the constants of [C] are exogenous (the extension noted at the
+    end of Section 6.4). *)
+
+type fgmc_const = (Const_svc.instance * int, Bigint.t) Oracle.t
+
+val fgmc_const_oracle : Query.t -> fgmc_const
+(** Reference oracle backed by {!Const_svc.fgmc_const}. *)
+
+val svc_const_via_fgmc_const :
+  fgmc_const:fgmc_const -> Const_svc.instance -> string -> Rational.t
+(** The Claim A.1 analog for constants. *)
+
+val fgmc_const_via_svc_const :
+  svc_const:Oracle.svc_const -> query:Query.t -> Const_svc.instance -> Poly.Z.t
+(** The duplicable-singleton-support construction: collapse a fresh support
+    of [q] onto a single fresh constant [a_μ], add [i] copies for
+    [i = 0..|Cₙ|], and invert the resulting system.
+    @raise Invalid_argument when the query constants are not all exogenous
+    in the instance, or the collapsed support retains a fact entirely over
+    [C]. *)

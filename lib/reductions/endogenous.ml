@@ -1,0 +1,17 @@
+let rec fgmc_via_fmc ~fmc db j =
+  match Fact.Set.choose_opt (Database.exo db) with
+  | None ->
+    if j < 0 then Bigint.zero
+    else Oracle.call fmc (db, j)
+  | Some alpha ->
+    (* generalized supports of size j in (Dₙ, Dₓ) are the generalized
+       supports of size j+1 in (Dₙ ∪ α, Dₓ ∖ α) that contain α *)
+    let promoted = Database.make_endogenous alpha db in
+    let dropped = Database.remove alpha db in
+    Bigint.sub
+      (fgmc_via_fmc ~fmc promoted (j + 1))
+      (fgmc_via_fmc ~fmc dropped (j + 1))
+
+let fgmc_polynomial_via_fmc ~fmc db =
+  let n = Database.size_endo db in
+  Poly.Z.of_coeffs (List.init (n + 1) (fun j -> fgmc_via_fmc ~fmc db j))

@@ -1,0 +1,12 @@
+(** Purely endogenous databases (Section 6.1).
+
+    Lemma 6.1: FGMC on a database with [k] exogenous facts reduces to [2^k]
+    FMC calls via the inclusion–exclusion
+    [FGMC_j(Dₙ, Dₓ) = FGMC_{j+1}(Dₙ∪α, Dₓ∖α) - FGMC_{j+1}(Dₙ, Dₓ∖α)]. *)
+
+val fgmc_via_fmc : fmc:Oracle.fgmc -> Database.t -> int -> Bigint.t
+(** [fgmc_via_fmc ~fmc db j] computes [FGMC_q(db, j)] calling [fmc] only on
+    purely endogenous databases — exactly [2^|Dₓ|] calls. *)
+
+val fgmc_polynomial_via_fmc : fmc:Oracle.fgmc -> Database.t -> Poly.Z.t
+(** The whole FGMC vector, [2^|Dₓ|·(|Dₙ|+|Dₓ|+1)] oracle calls. *)

@@ -1,0 +1,35 @@
+let sppqe_via_fgmc ~fgmc db p =
+  if Rational.sign p <= 0 || Rational.compare p Rational.one > 0 then
+    invalid_arg "Fgmc_sppqe.sppqe_via_fgmc: probability must lie in (0, 1]";
+  let n = Database.size_endo db in
+  let poly =
+    Poly.Z.of_coeffs (List.init (n + 1) (fun j -> Oracle.call fgmc (db, j)))
+  in
+  Pqe.sppqe_of_polynomial poly ~n p
+
+let fgmc_via_sppqe ~sppqe db =
+  let n = Database.size_endo db in
+  (* z_k = k for k = 1..n+1, i.e. probabilities p_k = k/(k+1) ∈ (0, 1) *)
+  let zs = Array.init (n + 1) (fun k -> Rational.of_int (k + 1)) in
+  let rhs =
+    Array.map
+      (fun z ->
+         let p = Rational.div z (Rational.add Rational.one z) in
+         let pr = Oracle.call sppqe (db, p) in
+         Rational.mul (Rational.pow (Rational.add Rational.one z) n) pr)
+      zs
+  in
+  let coeffs = Linalg.solve_vandermonde zs rhs in
+  Poly.Z.of_coeffs (Array.to_list (Array.map Rational.to_bigint coeffs))
+
+let require_endogenous name db =
+  if not (Fact.Set.is_empty (Database.exo db)) then
+    invalid_arg (name ^ ": database has exogenous facts")
+
+let fmc_via_spqe ~spqe db =
+  require_endogenous "Fgmc_sppqe.fmc_via_spqe" db;
+  fgmc_via_sppqe ~sppqe:spqe db
+
+let spqe_via_fmc ~fmc db p =
+  require_endogenous "Fgmc_sppqe.spqe_via_fmc" db;
+  sppqe_via_fgmc ~fgmc:fmc db p

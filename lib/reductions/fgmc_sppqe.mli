@@ -1,0 +1,22 @@
+(** [FGMC_q ≡ poly SPPQE_q] (Proposition 3.3 (1) / Claim A.2).
+
+    Both directions of the equivalence, preserving the underlying
+    partitioned database:
+
+    - [(1+z)ⁿ · Pr(D_z ⊨ q) = Σ_j z^j · FGMC_j]  with [z = p/(1-p)];
+    - querying SPPQE at [n+1] distinct probabilities yields a Vandermonde
+      system over the [FGMC_j]. *)
+
+val sppqe_via_fgmc : fgmc:Oracle.fgmc -> Database.t -> Rational.t -> Rational.t
+(** [n+1] oracle calls. @raise Invalid_argument if [p ∉ (0, 1]]. *)
+
+val fgmc_via_sppqe : sppqe:Oracle.sppqe -> Database.t -> Poly.Z.t
+(** The whole FGMC vector from [n+1] SPPQE calls at probabilities
+    [k/(k+1)], [k = 1..n+1]. *)
+
+val fmc_via_spqe : spqe:Oracle.sppqe -> Database.t -> Poly.Z.t
+(** Claim A.3: the restriction to purely endogenous databases.
+    @raise Invalid_argument if the database has exogenous facts. *)
+
+val spqe_via_fmc : fmc:Oracle.fgmc -> Database.t -> Rational.t -> Rational.t
+(** @raise Invalid_argument if the database has exogenous facts. *)

@@ -1,0 +1,257 @@
+type mode =
+  | Count
+  | Complement
+
+(* (1 + z)^k with integer coefficients *)
+let one_plus_z_pow k = Poly.Z.of_coeffs (List.init (k + 1) (fun i -> Bigint.binomial k i))
+
+let binomial_polynomial n = one_plus_z_pow n
+
+let reduce_engine ~svc ~count_query ~query_consts ~s_prime ~support ~pivot ~mode db =
+  if Fact.Set.is_empty support then
+    invalid_arg "Fgmc_to_svc: empty support";
+  if Term.Sset.mem pivot query_consts then
+    invalid_arg "Fgmc_to_svc: pivot belongs to the query constants C";
+  if not (Term.Sset.mem pivot (Fact.Set.consts support)) then
+    invalid_arg "Fgmc_to_svc: pivot does not occur in the support";
+  let c_set = query_consts in
+  (* Trivial case of Claim 5.1 (1): for a monotone counted query, when the
+     exogenous part already satisfies it, every subset of Dₙ is a
+     generalized support.  (For non-monotone counted queries — Section 6.2 —
+     the shortcut is unsound and the construction below handles the case by
+     itself, cf. Lemma D.3 case (4).) *)
+  if
+    Query.is_hom_closed_syntactically count_query
+    && Query.eval count_query (Database.exo db)
+  then binomial_polynomial (Database.size_endo db)
+  else begin
+    (* Claim 5.1 (2): C-isomorphically rename D away from the constants of
+       the construction (the counted polynomial is invariant). *)
+    let avoid =
+      Term.Sset.union (Fact.Set.consts s_prime) (Fact.Set.consts support)
+    in
+    let db, _rho = Database.rename_away ~keep:c_set ~avoid db in
+    (* Claim 5.1 (3): facts shared with S′ (necessarily over C after the
+       renaming) are irrelevant to the counted query by hypothesis (2c);
+       drop them and pad the polynomial afterwards. *)
+    let shared = Fact.Set.inter (Database.all db) s_prime in
+    let dropped_endo =
+      Fact.Set.cardinal (Fact.Set.inter shared (Database.endo db))
+    in
+    let db = Fact.Set.fold Database.remove shared db in
+    let n = Database.size_endo db in
+    (* Claim 5.3: split S into the pivot part S⁰ and the rest S⁻. *)
+    let s0 =
+      Fact.Set.filter (fun f -> Term.Sset.mem pivot (Fact.consts f)) support
+    in
+    let s_minus = Fact.Set.diff support s0 in
+    let m = Fact.Set.cardinal s_minus in
+    let mu =
+      match Fact.Set.min_elt_opt s0 with
+      | Some f -> f
+      | None -> invalid_arg "Fgmc_to_svc: pivot part S⁰ is empty"
+    in
+    (* Copies S¹..Sⁱ: rename the pivot only; the glue constants shared with
+       S⁻ are preserved so that Sᵏ ⊎ S⁻ remains a support. *)
+    let copy k =
+      let fresh = Term.fresh_const ~prefix:(Printf.sprintf "%s.copy%d" pivot k) () in
+      let rho = Term.Smap.singleton pivot fresh in
+      let facts = Fact.Set.rename rho s0 in
+      let mu_k = Fact.rename rho mu in
+      (facts, mu_k)
+    in
+    (* Build Aⁱ incrementally; measurements for i = 0 .. n. *)
+    let base_endo =
+      Fact.Set.union (Database.endo db) (Fact.Set.add mu s_minus)
+    in
+    let base_exo =
+      Fact.Set.union (Database.exo db)
+        (Fact.Set.union s_prime (Fact.Set.remove mu s0))
+    in
+    let copies = Array.init n (fun k -> copy (k + 1)) in
+    let sh_values =
+      Array.init (n + 1) (fun i ->
+          let endo = ref base_endo and exo = ref base_exo in
+          for k = 0 to i - 1 do
+            let facts, mu_k = copies.(k) in
+            endo := Fact.Set.add mu_k !endo;
+            exo := Fact.Set.union (Fact.Set.remove mu_k facts) !exo
+          done;
+          let a_i = Database.of_sets ~endo:!endo ~exo:!exo in
+          Oracle.call svc (a_i, mu))
+    in
+    (* Closed-form contribution Zᵢ of cases (1) and (2) of Lemma 5.1: the
+       sets B containing some μᵏ or missing part of S⁻.  With
+       Nᵢ = n + i + 1 + m players, of which B ranges over Nᵢ - 1:
+       #bad(b) = C(Nᵢ-1, b) - C(n, b-m). *)
+    let z_term i =
+      let n_i = n + i + 1 + m in
+      let n_i_fact = Bigint.factorial n_i in
+      let acc = ref Rational.zero in
+      for b = 0 to n_i - 1 do
+        let bad =
+          Bigint.sub (Bigint.binomial (n_i - 1) b) (Bigint.binomial n (b - m))
+        in
+        if not (Bigint.is_zero bad) then begin
+          let w =
+            Rational.make
+              (Bigint.mul (Bigint.factorial b) (Bigint.factorial (n_i - b - 1)))
+              n_i_fact
+          in
+          acc := Rational.add !acc (Rational.mul w (Rational.of_bigint bad))
+        end
+      done;
+      !acc
+    in
+    let sh_clean =
+      Array.init (n + 1) (fun i ->
+          Rational.sub (Rational.sub Rational.one sh_values.(i)) (z_term i))
+    in
+    (* Invert the system  shᵢ = Σ_j (j+m)!(n+i-j)! / (n+i+m+1)! · x_j. *)
+    let matrix =
+      Array.init (n + 1) (fun i ->
+          Array.init (n + 1) (fun j ->
+              Rational.make
+                (Bigint.mul
+                   (Bigint.factorial (j + m))
+                   (Bigint.factorial (n + i - j)))
+                (Bigint.factorial (n + i + m + 1))))
+    in
+    let x =
+      match Linalg.solve matrix sh_clean with
+      | Some x -> x
+      | None ->
+        (* impossible: the matrix reduces to Bacher's (i+j)! matrix *)
+        invalid_arg "Fgmc_to_svc: singular system"
+    in
+    let counts =
+      Array.mapi
+        (fun j v ->
+           let v =
+             match mode with
+             | Count -> v
+             | Complement ->
+               Rational.sub (Rational.of_bigint (Bigint.binomial n j)) v
+           in
+           Rational.to_bigint v)
+        x
+    in
+    let poly = Poly.Z.of_coeffs (Array.to_list counts) in
+    Poly.Z.mul poly (one_plus_z_pow dropped_endo)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4.1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lemma41 ~svc ~query ~island ~pivot db =
+  reduce_engine ~svc ~count_query:query ~query_consts:(Query.consts query)
+    ~s_prime:Fact.Set.empty ~support:island ~pivot ~mode:Count db
+
+let lemma41_auto ~svc ~query db =
+  match Query.fresh_support query with
+  | None -> None
+  | Some island ->
+    let c = Query.consts query in
+    let outside = Term.Sset.diff (Fact.Set.consts island) c in
+    (match Term.Sset.min_elt_opt outside with
+     | None -> None
+     | Some pivot -> Some (lemma41 ~svc ~query ~island ~pivot db))
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4.3                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lemma43 ~svc ~q ~q' db =
+  let s_prime =
+    match q' with
+    | Query.True -> Fact.Set.empty
+    | _ ->
+      (match Query.fresh_support q' with
+       | Some s -> s
+       | None -> invalid_arg "Fgmc_to_svc.lemma43: q′ has no fresh minimal support")
+  in
+  if Query.eval q s_prime then
+    invalid_arg "Fgmc_to_svc.lemma43: hypothesis (2a) violated: S′ ⊨ q";
+  let support =
+    match Query.fresh_support q with
+    | Some s -> s
+    | None -> invalid_arg "Fgmc_to_svc.lemma43: q has no fresh minimal support"
+  in
+  let c_all = Term.Sset.union (Query.consts q) (Query.consts q') in
+  let outside = Term.Sset.diff (Fact.Set.consts support) c_all in
+  match Term.Sset.min_elt_opt outside with
+  | None ->
+    invalid_arg "Fgmc_to_svc.lemma43: support of q has no constant outside C ∪ C′"
+  | Some pivot ->
+    reduce_engine ~svc ~count_query:q ~query_consts:(Query.consts q) ~s_prime
+      ~support ~pivot ~mode:Count db
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4.4                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let default_split q1 q2 =
+  let r1 = Query.rels q1 and r2 = Query.rels q2 in
+  if not (Term.Sset.is_empty (Term.Sset.inter r1 r2)) then
+    invalid_arg
+      "Fgmc_to_svc.lemma44: conjunct vocabularies overlap; provide ~split";
+  fun f ->
+    if Term.Sset.mem (Fact.rel f) r1 then `Left
+    else if Term.Sset.mem (Fact.rel f) r2 then `Right
+    else `Neither
+
+let lemma44_with ~pick_pivot ~svc ~q1 ~q2 ?split db =
+  let split = match split with Some s -> s | None -> default_split q1 q2 in
+  let part side =
+    let keep f = split f = side in
+    Database.of_sets
+      ~endo:(Fact.Set.filter keep (Database.endo db))
+      ~exo:(Fact.Set.filter keep (Database.exo db))
+  in
+  let d1 = part `Left and d2 = part `Right in
+  let free =
+    Database.size_endo db - Database.size_endo d1 - Database.size_endo d2
+  in
+  let c_all = Term.Sset.union (Query.consts q1) (Query.consts q2) in
+  let run ~count_query ~other db_side =
+    (* Replace the other conjunct's data by a fresh minimal support of the
+       other conjunct, used as the duplicated S. *)
+    let support =
+      match Query.fresh_support other with
+      | Some s -> s
+      | None -> invalid_arg "Fgmc_to_svc.lemma44: conjunct has no fresh support"
+    in
+    match pick_pivot ~c:c_all support with
+    | None ->
+      invalid_arg "Fgmc_to_svc.lemma44: no admissible pivot in the support"
+    | Some pivot ->
+      reduce_engine ~svc ~count_query ~query_consts:c_all
+        ~s_prime:Fact.Set.empty ~support ~pivot ~mode:Complement db_side
+  in
+  let p1 = run ~count_query:q1 ~other:q2 d1 in
+  let p2 = run ~count_query:q2 ~other:q1 d2 in
+  Poly.Z.mul (Poly.Z.mul p1 p2) (one_plus_z_pow free)
+
+let any_outside_pivot ~c support =
+  Term.Sset.min_elt_opt (Term.Sset.diff (Fact.Set.consts support) c)
+
+(* Lemma D.1's "unshared constant": outside C and appearing in exactly one
+   fact of the support, so that S⁰ is a singleton and the construction adds
+   no exogenous facts. *)
+let unshared_pivot ~c support =
+  Term.Sset.min_elt_opt
+    (Term.Sset.filter
+       (fun a ->
+          Fact.Set.cardinal
+            (Fact.Set.filter (fun f -> Term.Sset.mem a (Fact.consts f)) support)
+          = 1)
+       (Term.Sset.diff (Fact.Set.consts support) c))
+
+let lemma44 ~svc ~q1 ~q2 ?split db =
+  lemma44_with ~pick_pivot:any_outside_pivot ~svc ~q1 ~q2 ?split db
+
+let lemma_d1 ~svc ~q1 ~q2 ?split db =
+  if not (Fact.Set.is_empty (Database.exo db)) then
+    invalid_arg "Fgmc_to_svc.lemma_d1: database has exogenous facts";
+  lemma44_with ~pick_pivot:unshared_pivot ~svc ~q1 ~q2 ?split db

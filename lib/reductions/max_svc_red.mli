@@ -1,0 +1,19 @@
+(** [FGMC_q ≤ poly max-SVC_q] (Proposition 6.2).
+
+    The Figure 2 construction with [S⁰ = S] and [S⁻ = ∅]: every copy is a
+    full C-isomorphic copy of the support, so the distinguished fact [μ] is
+    a singleton generalized support, and by Lemma 6.3 its Shapley value is
+    the maximum — which is exactly what the max-SVC oracle returns. *)
+
+val reduce :
+  max_svc:Oracle.max_svc ->
+  query:Query.t ->
+  support:Fact.Set.t ->
+  Database.t ->
+  Poly.Z.t
+(** [support] must be a minimal support of [query] over fresh constants
+    satisfying the hypotheses of Lemma 4.1 (island) or 4.3.
+    @raise Invalid_argument if the support is empty or the oracle returns
+    no fact on a non-empty instance. *)
+
+val reduce_auto : max_svc:Oracle.max_svc -> query:Query.t -> Database.t -> Poly.Z.t option

@@ -1,0 +1,27 @@
+type prob_oracle = (Database.t, Rational.t) Oracle.t
+type count_oracle = (Database.t, Bigint.t) Oracle.t
+
+let pqe_half_one_of q = Oracle.make (fun db -> Pqe.pqe_half_one q db)
+let gmc_of q = Oracle.make (fun db -> Model_counting.gmc q db)
+
+let gmc_via_half_one ~pqe db =
+  let n = Database.size_endo db in
+  let pr = Oracle.call pqe db in
+  (* GMC = 2^n · Pr, necessarily an integer *)
+  Rational.to_bigint (Rational.mul pr (Rational.of_bigint (Bigint.pow Bigint.two n)))
+
+let half_one_via_gmc ~gmc db =
+  let n = Database.size_endo db in
+  Rational.make (Oracle.call gmc db) (Bigint.pow Bigint.two n)
+
+let require_endogenous name db =
+  if not (Fact.Set.is_empty (Database.exo db)) then
+    invalid_arg (name ^ ": database has exogenous facts")
+
+let mc_via_half ~pqe db =
+  require_endogenous "Mc_pqe_half.mc_via_half" db;
+  gmc_via_half_one ~pqe db
+
+let half_via_mc ~mc db =
+  require_endogenous "Mc_pqe_half.half_via_mc" db;
+  half_one_via_gmc ~gmc:mc db

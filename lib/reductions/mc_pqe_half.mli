@@ -1,0 +1,22 @@
+(** The [MC ≡ PQE(1/2)] and [GMC ≡ PQE(1/2;1)] arrows of Figure 1a.
+
+    A single evaluation at probability 1/2 carries the whole (generalized)
+    model count: [Pr(D ⊨ q) = GMC_q(D) / 2^{|Dₙ|}]. *)
+
+type prob_oracle = (Database.t, Rational.t) Oracle.t
+type count_oracle = (Database.t, Bigint.t) Oracle.t
+
+val pqe_half_one_of : Query.t -> prob_oracle
+val gmc_of : Query.t -> count_oracle
+
+val gmc_via_half_one : pqe:prob_oracle -> Database.t -> Bigint.t
+(** One oracle call. *)
+
+val half_one_via_gmc : gmc:count_oracle -> Database.t -> Rational.t
+(** One oracle call. *)
+
+val mc_via_half : pqe:prob_oracle -> Database.t -> Bigint.t
+(** @raise Invalid_argument if the database has exogenous facts. *)
+
+val half_via_mc : mc:count_oracle -> Database.t -> Rational.t
+(** @raise Invalid_argument if the database has exogenous facts. *)

@@ -1,0 +1,35 @@
+(** Queries with negation (Section 6.2, Proposition 6.1).
+
+    For a self-join-free CQ¬ [q] with positive part [q⁺] and negative part
+    [q⁻]: pick a maximal variable-connected subquery [q⁺ᵥ꜀] of [q⁺] and the
+    negative atoms [q⁻ᵥ꜀] guarded by it; then
+    [FGMC_{q⁺ᵥ꜀ ∧ q⁻ᵥ꜀} ≤ poly SVC_q] by the Lemma 4.1 construction with
+    [S ≅ q⁺ᵥ꜀] and [S′ ≅] the rest of the positive part.
+
+    Restriction: negative atoms without variables (the [α_k] of Lemma D.2)
+    are not supported by this implementation. *)
+
+val prop61 :
+  svc:Oracle.svc ->
+  q:Cqneg.t ->
+  Database.t ->
+  (Query.t * Poly.Z.t)
+(** Returns the counted query [q̃ = q⁺ᵥ꜀ ∧ q⁻ᵥ꜀] (the first maximal
+    variable-connected component) and its FGMC polynomial on the input
+    database, computed through the [SVC_q] oracle.
+    @raise Invalid_argument if [q] is not self-join-free or has a
+    variable-free negative atom. *)
+
+val lemma_d2 :
+  svc:Oracle.svc ->
+  q:Gcq.t ->
+  Database.t ->
+  (Query.t * Poly.Z.t)
+(** The full Lemma D.2, covering the sjf-1RA¬ queries of Examples D.1 and
+    D.2: the condition may be an arbitrary nested Boolean combination.
+    Requires self-join-free guards, guard/condition vocabularies disjoint,
+    and every condition atom to contain a variable.  Returns the counted
+    query [q̃] (the first maximal variable-connected guard component with
+    its guarded conditions) and its FGMC polynomial, computed through the
+    [SVC_q] oracle.
+    @raise Invalid_argument when a hypothesis fails. *)

@@ -1,0 +1,30 @@
+type ('q, 'a) t = { f : 'q -> 'a; mutable count : int }
+
+let make f = { f; count = 0 }
+
+let call o q =
+  o.count <- o.count + 1;
+  o.f q
+
+let calls o = o.count
+let reset o = o.count <- 0
+
+type svc = (Database.t * Fact.t, Rational.t) t
+type fgmc = (Database.t * int, Bigint.t) t
+type sppqe = (Database.t * Rational.t, Rational.t) t
+type max_svc = (Database.t, (Fact.t * Rational.t) option) t
+type svc_const = (Const_svc.instance * string, Rational.t) t
+
+let svc_of q = make (fun (db, mu) -> Svc.svc q db mu)
+let svc_brute_of q = make (fun (db, mu) -> Svc.svc_brute q db mu)
+let fgmc_of q = make (fun (db, n) -> Model_counting.fgmc q db n)
+let fgmc_brute_of q = make (fun (db, n) -> Model_counting.fgmc_brute q db n)
+let sppqe_of q = make (fun (db, p) -> Pqe.sppqe q db p)
+let max_svc_of q = make (fun db -> Max_svc.max_svc q db)
+let svc_const_of q = make (fun (inst, c) -> Const_svc.svc_const q inst c)
+
+let svc_endo_only o =
+  make (fun (db, mu) ->
+      if not (Fact.Set.is_empty (Database.exo db)) then
+        invalid_arg "Oracle.svc_endo_only: reduction produced exogenous facts";
+      call o (db, mu))

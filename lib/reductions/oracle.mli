@@ -1,0 +1,51 @@
+(** Counted oracles.
+
+    The reductions of the paper are polynomial-time algorithms making
+    unit-cost calls to an oracle for the target problem.  We implement them
+    literally: each reduction takes an oracle record, and the wrapper counts
+    calls so the test suite and benches can report (and bound) the number of
+    oracle invocations. *)
+
+type ('q, 'a) t
+
+val make : ('q -> 'a) -> ('q, 'a) t
+val call : ('q, 'a) t -> 'q -> 'a
+val calls : ('q, 'a) t -> int
+val reset : ('q, 'a) t -> unit
+
+(** {1 Problem-specific oracle shapes} *)
+
+type svc = (Database.t * Fact.t, Rational.t) t
+(** [SVC_q]: Shapley value of an endogenous fact. *)
+
+type fgmc = (Database.t * int, Bigint.t) t
+(** [FGMC_q]: number of generalized supports of a given size. *)
+
+type sppqe = (Database.t * Rational.t, Rational.t) t
+(** [SPPQE_q]: probability of [q] when all endogenous facts get the given
+    probability and exogenous facts probability 1. *)
+
+type max_svc = (Database.t, (Fact.t * Rational.t) option) t
+(** [max-SVC_q]: some endogenous fact of maximal Shapley value, with the
+    value. *)
+
+type svc_const = (Const_svc.instance * string, Rational.t) t
+(** [SVC_q^const]: Shapley value of an endogenous constant. *)
+
+(** {1 Reference oracles}
+
+    Default instantiations backed by this library's own solvers. *)
+
+val svc_of : Query.t -> svc
+val svc_brute_of : Query.t -> svc
+val fgmc_of : Query.t -> fgmc
+val fgmc_brute_of : Query.t -> fgmc
+val sppqe_of : Query.t -> sppqe
+val max_svc_of : Query.t -> max_svc
+val svc_const_of : Query.t -> svc_const
+
+val svc_endo_only : svc -> svc
+(** Wrap an SVC oracle so that it refuses databases with exogenous facts —
+    turning it into an [SVC^n] oracle (Section 6.1).
+    The wrapped oracle raises [Invalid_argument] on a violation, which the
+    purely-endogenous reductions use as a correctness guard. *)

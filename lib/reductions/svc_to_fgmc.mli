@@ -1,0 +1,13 @@
+(** [SVC_q ≤ poly FGMC_q] (Proposition 3.3 (3) / Claim A.1).
+
+    [Sh(Dₙ, v, μ) = Σ_j C_j (FGMC_j(Dₙ∖μ, Dₓ∪μ) - FGMC_j(Dₙ∖μ, Dₓ))]
+    with [C_j = j!(n-j-1)!/n!], [n = |Dₙ|] — [2n] oracle calls. *)
+
+val svc : fgmc:Oracle.fgmc -> Database.t -> Fact.t -> Rational.t
+(** @raise Invalid_argument if the fact is not endogenous. *)
+
+val svc_endo : fgmc:Oracle.fgmc -> Database.t -> Fact.t -> Rational.t
+(** [SVC_q^n ≤ poly FMC_q] (Corollary 6.1): same computation, but the [μ]-
+    made-exogenous call is routed through Lemma 6.1's expansion so that the
+    oracle only ever sees purely endogenous databases.
+    @raise Invalid_argument if the input database has exogenous facts. *)

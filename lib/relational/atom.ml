@@ -1,0 +1,51 @@
+type t = { rel : string; args : Term.t list }
+
+let make rel args =
+  if rel = "" then invalid_arg "Atom.make: empty relation name";
+  if args = [] then invalid_arg "Atom.make: atoms must have positive arity";
+  { rel; args }
+
+let rel a = a.rel
+let args a = a.args
+let arity a = List.length a.args
+
+let vars a =
+  List.fold_left
+    (fun acc t -> match t with Term.Var v -> Term.Sset.add v acc | Term.Const _ -> acc)
+    Term.Sset.empty a.args
+
+let consts a =
+  List.fold_left
+    (fun acc t -> match t with Term.Const c -> Term.Sset.add c acc | Term.Var _ -> acc)
+    Term.Sset.empty a.args
+
+let is_ground a = List.for_all Term.is_const a.args
+
+let apply subst a =
+  let map_term = function
+    | Term.Var v as t -> (match Term.Smap.find_opt v subst with Some t' -> t' | None -> t)
+    | Term.Const _ as t -> t
+  in
+  { a with args = List.map map_term a.args }
+
+let rename_consts rho a =
+  let map_term = function
+    | Term.Const c as t ->
+      (match Term.Smap.find_opt c rho with Some c' -> Term.Const c' | None -> t)
+    | Term.Var _ as t -> t
+  in
+  { a with args = List.map map_term a.args }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string a =
+  Printf.sprintf "%s(%s)" a.rel (String.concat "," (List.map Term.to_string a.args))
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+module Set = Stdlib.Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)

@@ -1,0 +1,37 @@
+(** Relational atoms [R(t₁, …, tₖ)] over terms.
+
+    An atom whose terms are all constants is a {e fact}; ground atoms
+    convert to and from {!Fact.t}. *)
+
+type t = { rel : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+(** @raise Invalid_argument on empty relation name or nullary atom (the
+    paper assumes positive arities, cf. proof of Lemma 4.2). *)
+
+val rel : t -> string
+val args : t -> Term.t list
+val arity : t -> int
+
+val vars : t -> Term.Sset.t
+(** Variable names occurring in the atom. *)
+
+val consts : t -> Term.Sset.t
+(** Constant names occurring in the atom. *)
+
+val is_ground : t -> bool
+
+val apply : Term.t Term.Smap.t -> t -> t
+(** [apply subst atom] replaces each variable [v] bound in [subst] by its
+    image (constants are left untouched). *)
+
+val rename_consts : string Term.Smap.t -> t -> t
+(** [rename_consts rho atom] replaces each constant [c] bound in [rho] by
+    [rho(c)]; unbound constants and variables are untouched. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,90 @@
+type t = { endo : Fact.Set.t; exo : Fact.Set.t }
+
+let empty = { endo = Fact.Set.empty; exo = Fact.Set.empty }
+
+let of_sets ~endo ~exo =
+  if not (Fact.Set.is_empty (Fact.Set.inter endo exo)) then
+    invalid_arg "Database.of_sets: endogenous and exogenous parts overlap";
+  { endo; exo }
+
+let make ~endo ~exo =
+  of_sets ~endo:(Fact.Set.of_list endo) ~exo:(Fact.Set.of_list exo)
+
+let endo db = db.endo
+let exo db = db.exo
+let all db = Fact.Set.union db.endo db.exo
+let endo_list db = Fact.Set.elements db.endo
+let size_endo db = Fact.Set.cardinal db.endo
+let size db = Fact.Set.cardinal db.endo + Fact.Set.cardinal db.exo
+
+let mem f db = Fact.Set.mem f db.endo || Fact.Set.mem f db.exo
+let mem_endo f db = Fact.Set.mem f db.endo
+let mem_exo f db = Fact.Set.mem f db.exo
+
+let add_endo f db =
+  if Fact.Set.mem f db.exo then invalid_arg "Database.add_endo: fact is exogenous";
+  { db with endo = Fact.Set.add f db.endo }
+
+let add_exo f db =
+  if Fact.Set.mem f db.endo then invalid_arg "Database.add_exo: fact is endogenous";
+  { db with exo = Fact.Set.add f db.exo }
+
+let remove f db =
+  { endo = Fact.Set.remove f db.endo; exo = Fact.Set.remove f db.exo }
+
+let make_exogenous f db =
+  if not (Fact.Set.mem f db.endo) then
+    invalid_arg "Database.make_exogenous: fact is not endogenous";
+  { endo = Fact.Set.remove f db.endo; exo = Fact.Set.add f db.exo }
+
+let make_endogenous f db =
+  if not (Fact.Set.mem f db.exo) then
+    invalid_arg "Database.make_endogenous: fact is not exogenous";
+  { endo = Fact.Set.add f db.endo; exo = Fact.Set.remove f db.exo }
+
+let union_disjoint a b =
+  if not (Fact.Set.is_empty (Fact.Set.inter (all a) (all b))) then
+    invalid_arg "Database.union_disjoint: databases share facts";
+  { endo = Fact.Set.union a.endo b.endo; exo = Fact.Set.union a.exo b.exo }
+
+let consts db = Fact.Set.consts (all db)
+let rels db = Fact.Set.rels (all db)
+
+let rename rho db =
+  { endo = Fact.Set.rename rho db.endo; exo = Fact.Set.rename rho db.exo }
+
+let rename_away ~keep ~avoid db =
+  let clashing =
+    Term.Sset.filter
+      (fun c -> (not (Term.Sset.mem c keep)) && Term.Sset.mem c avoid)
+      (consts db)
+  in
+  let rho =
+    Term.Sset.fold
+      (fun c acc -> Term.Smap.add c (Term.fresh_const ~prefix:c ()) acc)
+      clashing Term.Smap.empty
+  in
+  (rename rho db, rho)
+
+let fold_endo_subsets f db init =
+  let facts = Array.of_list (endo_list db) in
+  let n = Array.length facts in
+  if n > 62 then invalid_arg "Database.fold_endo_subsets: too many endogenous facts";
+  let acc = ref init in
+  for mask = 0 to (1 lsl n) - 1 do
+    let subset = ref Fact.Set.empty in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then subset := Fact.Set.add facts.(i) !subset
+    done;
+    acc := f !subset !acc
+  done;
+  !acc
+
+let restrict_to_consts c db =
+  let keep f = Term.Sset.subset (Fact.consts f) c in
+  { endo = Fact.Set.filter keep db.endo; exo = Fact.Set.filter keep db.exo }
+
+let equal a b = Fact.Set.equal a.endo b.endo && Fact.Set.equal a.exo b.exo
+
+let pp fmt db =
+  Format.fprintf fmt "@[<v>endo: %a@,exo:  %a@]" Fact.Set.pp db.endo Fact.Set.pp db.exo

@@ -1,0 +1,71 @@
+(** Partitioned databases [D = (Dₙ, Dₓ)] (Section 3 of the paper).
+
+    A database is a finite set of facts split into {e endogenous} facts
+    [Dₙ] (the Shapley players / counted facts) and {e exogenous} facts [Dₓ]
+    (assumed facts, always present).  The two parts are disjoint by
+    construction. *)
+
+type t
+
+val empty : t
+
+val make : endo:Fact.t list -> exo:Fact.t list -> t
+(** @raise Invalid_argument if the two lists share a fact. *)
+
+val of_sets : endo:Fact.Set.t -> exo:Fact.Set.t -> t
+(** @raise Invalid_argument if the two sets intersect. *)
+
+val endo : t -> Fact.Set.t
+val exo : t -> Fact.Set.t
+val all : t -> Fact.Set.t
+
+val endo_list : t -> Fact.t list
+val size_endo : t -> int
+val size : t -> int
+
+val mem : Fact.t -> t -> bool
+val mem_endo : Fact.t -> t -> bool
+val mem_exo : Fact.t -> t -> bool
+
+val add_endo : Fact.t -> t -> t
+(** @raise Invalid_argument if the fact is already exogenous. *)
+
+val add_exo : Fact.t -> t -> t
+(** @raise Invalid_argument if the fact is already endogenous. *)
+
+val remove : Fact.t -> t -> t
+
+val make_exogenous : Fact.t -> t -> t
+(** Move an endogenous fact to the exogenous part (used by the SVC → FGMC
+    reduction, Claim A.1). @raise Invalid_argument if not endogenous. *)
+
+val make_endogenous : Fact.t -> t -> t
+(** Move an exogenous fact to the endogenous part (Lemma 6.1).
+    @raise Invalid_argument if not exogenous. *)
+
+val union_disjoint : t -> t -> t
+(** Union of two databases with disjoint fact sets (the [⊎] of the paper's
+    constructions). @raise Invalid_argument if they share a fact. *)
+
+val consts : t -> Term.Sset.t
+val rels : t -> Term.Sset.t
+
+val rename : string Term.Smap.t -> t -> t
+(** Apply a constant renaming to every fact of both parts. *)
+
+val rename_away : keep:Term.Sset.t -> avoid:Term.Sset.t -> t -> t * string Term.Smap.t
+(** [rename_away ~keep ~avoid db] C-isomorphically renames [db] so that no
+    constant outside [keep] appears in [avoid]; constants in [keep] are
+    untouched.  Returns the renamed database and the renaming used
+    (Claim 5.1 (2)). *)
+
+val fold_endo_subsets : (Fact.Set.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over all [2^|Dₙ|] subsets of the endogenous facts (brute-force
+    oracles; intended for small instances only). *)
+
+val restrict_to_consts : Term.Sset.t -> t -> t
+(** [restrict_to_consts c db] keeps only facts whose constants all belong to
+    [c] — the induced database [D|_C] of Section 6.4. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

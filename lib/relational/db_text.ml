@@ -1,0 +1,60 @@
+let parse_fact s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> invalid_arg ("Db_text.parse_fact: missing '(' in " ^ s)
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      invalid_arg ("Db_text.parse_fact: missing ')' in " ^ s);
+    let rel = String.trim (String.sub s 0 i) in
+    let inner = String.sub s (i + 1) (String.length s - i - 2) in
+    let args = List.map String.trim (String.split_on_char ',' inner) in
+    if List.exists (fun a -> a = "") args then
+      invalid_arg ("Db_text.parse_fact: empty argument in " ^ s);
+    Fact.make rel args
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let endo = ref [] and exo = ref [] in
+  List.iteri
+    (fun lineno line ->
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       let line = String.trim line in
+       if line <> "" then begin
+         let fail () =
+           invalid_arg
+             (Printf.sprintf "Db_text.parse: line %d: expected 'endo FACT' or 'exo FACT'"
+                (lineno + 1))
+         in
+         match String.index_opt line ' ' with
+         | None -> fail ()
+         | Some i ->
+           let tag = String.sub line 0 i in
+           let rest = String.sub line i (String.length line - i) in
+           (match tag with
+            | "endo" -> endo := parse_fact rest :: !endo
+            | "exo" -> exo := parse_fact rest :: !exo
+            | _ -> fail ())
+       end)
+    lines;
+  Database.make ~endo:!endo ~exo:!exo
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content
+
+let to_string db =
+  let buf = Buffer.create 256 in
+  Fact.Set.iter
+    (fun f -> Buffer.add_string buf ("endo " ^ Fact.to_string f ^ "\n"))
+    (Database.endo db);
+  Fact.Set.iter
+    (fun f -> Buffer.add_string buf ("exo  " ^ Fact.to_string f ^ "\n"))
+    (Database.exo db);
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Plain-text format for partitioned databases.
+
+    One fact per line, tagged by its part; ['#'] starts a comment:
+
+    {v
+      # players
+      endo R(a,b)
+      endo S(b)
+      # assumed facts
+      exo  T(b,c)
+    v} *)
+
+val parse : string -> Database.t
+(** @raise Invalid_argument on malformed input. *)
+
+val parse_fact : string -> Fact.t
+(** Parse a single ["R(a,b)"] fact. *)
+
+val load : string -> Database.t
+(** Read a database from a file path. *)
+
+val to_string : Database.t -> string

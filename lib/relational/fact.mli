@@ -1,0 +1,41 @@
+(** Facts: ground atoms [R(a₁, …, aₖ)] over constants only. *)
+
+type t = { rel : string; args : string list }
+
+val make : string -> string list -> t
+(** @raise Invalid_argument on empty relation name or nullary fact. *)
+
+val rel : t -> string
+val args : t -> string list
+val arity : t -> int
+
+val consts : t -> Term.Sset.t
+
+val to_atom : t -> Atom.t
+val of_atom : Atom.t -> t
+(** @raise Invalid_argument if the atom is not ground. *)
+
+val of_atom_opt : Atom.t -> t option
+
+val rename : string Term.Smap.t -> t -> t
+(** [rename rho f] replaces each constant bound in [rho] by its image. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val consts : t -> Term.Sset.t
+  (** All constants appearing in the set. *)
+
+  val rels : t -> Term.Sset.t
+  (** All relation names appearing in the set. *)
+
+  val rename : string Term.Smap.t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Map : Map.S with type key = t

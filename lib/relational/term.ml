@@ -1,0 +1,41 @@
+type t =
+  | Const of string
+  | Var of string
+
+let const c = Const c
+let var v = Var v
+
+let is_const = function Const _ -> true | Var _ -> false
+let is_var = function Var _ -> true | Const _ -> false
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Const c -> c
+  | Var v -> "?" ^ v
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let fresh_counter = ref 0
+
+let fresh_const ?(prefix = "c") () =
+  incr fresh_counter;
+  Printf.sprintf "%s#%d" prefix !fresh_counter
+
+let reset_fresh () = fresh_counter := 0
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+module Set = Stdlib.Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+module Map = Stdlib.Map.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)

@@ -1,0 +1,37 @@
+(** Terms: constants and variables (Section 2 of the paper).
+
+    Constants and variables are drawn from two disjoint infinite sets; we
+    represent both by strings and keep them apart at the type level.  A
+    global gensym provides the "fresh constants" that the reductions
+    C-isomorphically rename databases with (Claims 5.1/5.3). *)
+
+type t =
+  | Const of string
+  | Var of string
+
+val const : string -> t
+val var : string -> t
+
+val is_const : t -> bool
+val is_var : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val fresh_const : ?prefix:string -> unit -> string
+(** A constant name guaranteed distinct from every name previously returned
+    by this function in the process.  Caller-supplied names can still collide
+    with it only if they use the reserved ["#"] character. *)
+
+val reset_fresh : unit -> unit
+(** Reset the gensym counter (test isolation only). *)
+
+(** String sets/maps, used pervasively for constant sets [C]. *)
+module Sset : Set.S with type elt = string
+
+module Smap : Map.S with type key = string
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t

@@ -1,0 +1,103 @@
+type instance = {
+  facts : Fact.Set.t;
+  endo_consts : Term.Sset.t;
+  exo_consts : Term.Sset.t;
+}
+
+let make_instance ~facts ~endo_consts =
+  (* Endogenous constants absent from every fact are allowed: they are null
+     players (the reductions of Prop. 6.3 produce them when peeling a
+     constant off the instance). *)
+  let all = Fact.Set.consts facts in
+  { facts; endo_consts; exo_consts = Term.Sset.diff all endo_consts }
+
+let facts inst = inst.facts
+let endo_consts inst = inst.endo_consts
+let exo_consts inst = inst.exo_consts
+
+let induced inst c =
+  let allowed = Term.Sset.union c inst.exo_consts in
+  Fact.Set.filter (fun f -> Term.Sset.subset (Fact.consts f) allowed) inst.facts
+
+let game_of q inst =
+  let players = Array.of_list (Term.Sset.elements inst.endo_consts) in
+  let base_sat = Query.eval q (induced inst Term.Sset.empty) in
+  let coalition mask =
+    let c = ref Term.Sset.empty in
+    Array.iteri (fun i x -> if mask land (1 lsl i) <> 0 then c := Term.Sset.add x !c) players;
+    !c
+  in
+  let cache : (int, Rational.t) Hashtbl.t = Hashtbl.create 256 in
+  let wealth mask =
+    match Hashtbl.find_opt cache mask with
+    | Some v -> v
+    | None ->
+      let v =
+        if base_sat then Rational.zero
+        else if Query.eval q (induced inst (coalition mask)) then Rational.one
+        else Rational.zero
+      in
+      Hashtbl.replace cache mask v;
+      v
+  in
+  (Game.make ~n:(Array.length players) ~wealth, players)
+
+let svc_const q inst c =
+  if not (Term.Sset.mem c inst.endo_consts) then
+    invalid_arg "Const_svc.svc_const: constant is not endogenous";
+  let game, players = game_of q inst in
+  let idx = ref (-1) in
+  Array.iteri (fun i x -> if x = c then idx := i) players;
+  Game.shapley game !idx
+
+let svc_const_all q inst =
+  let game, players = game_of q inst in
+  Array.to_list (Array.mapi (fun i c -> (c, Game.shapley game i)) players)
+
+(* Encode "constant c is in the coalition" as the pseudo-fact $const(c),
+   reusing the fact-variable counting machinery. *)
+let const_var c = Fact.make "$const" [ c ]
+
+let const_lineage q inst =
+  (* D|_{C∪Cx} ⊨ q  ⇔  some minimal support of q in D has all its
+     endogenous constants inside C (monotone queries). *)
+  let supports = Query.minimal_supports_in q inst.facts in
+  Bform.disj
+    (List.map
+       (fun s ->
+          let needed = Term.Sset.inter (Fact.Set.consts s) inst.endo_consts in
+          Bform.conj
+            (List.map (fun c -> Bform.fv (const_var c)) (Term.Sset.elements needed)))
+       supports)
+
+let fgmc_const_polynomial q inst =
+  let phi = const_lineage q inst in
+  let universe = List.map const_var (Term.Sset.elements inst.endo_consts) in
+  Compile.size_polynomial ~universe phi
+
+let fgmc_const q inst k = Poly.Z.coeff (fgmc_const_polynomial q inst) k
+
+let fgmc_const_polynomial_brute q inst =
+  let players = Array.of_list (Term.Sset.elements inst.endo_consts) in
+  let n = Array.length players in
+  if n > 24 then invalid_arg "Const_svc.fgmc_const_polynomial_brute: too many constants";
+  let acc = ref Poly.Z.zero in
+  for mask = 0 to (1 lsl n) - 1 do
+    let c = ref Term.Sset.empty in
+    let size = ref 0 in
+    Array.iteri
+      (fun i x ->
+         if mask land (1 lsl i) <> 0 then begin
+           c := Term.Sset.add x !c;
+           incr size
+         end)
+      players;
+    if Query.eval q (induced inst !c) then
+      acc := Poly.Z.add !acc (Poly.Z.monomial Bigint.one !size)
+  done;
+  !acc
+
+let fmc_const_polynomial q inst =
+  if not (Term.Sset.is_empty inst.exo_consts) then
+    invalid_arg "Const_svc.fmc_const_polynomial: instance has exogenous constants";
+  fgmc_const_polynomial q inst

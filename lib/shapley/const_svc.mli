@@ -1,0 +1,42 @@
+(** Shapley value of database constants (Section 6.4).
+
+    Players are {e endogenous constants}: for a partition
+    [const(D) = Cₙ ⊎ Cₓ], the wealth of [C ⊆ Cₙ] is 1 iff the induced
+    database [D|_{C ∪ Cₓ}] satisfies [q] while [D|_{Cₓ}] does not.
+    [FGMC^const] counts the size-[k] subsets [C ⊆ Cₙ] with
+    [D|_{C∪Cₓ} ⊨ q]. *)
+
+type instance
+
+val make_instance : facts:Fact.Set.t -> endo_consts:Term.Sset.t -> instance
+(** Remaining constants of the facts are exogenous.  Endogenous constants
+    absent from every fact are allowed and behave as null players. *)
+
+val facts : instance -> Fact.Set.t
+val endo_consts : instance -> Term.Sset.t
+val exo_consts : instance -> Term.Sset.t
+
+val induced : instance -> Term.Sset.t -> Fact.Set.t
+(** [induced inst c] is [D|_{c ∪ Cₓ}]. *)
+
+val svc_const : Query.t -> instance -> string -> Rational.t
+(** Shapley value of an endogenous constant (brute force over coalitions).
+    @raise Invalid_argument if the constant is not endogenous. *)
+
+val svc_const_all : Query.t -> instance -> (string * Rational.t) list
+
+val const_lineage : Query.t -> instance -> Bform.t
+(** Boolean function over {e constant} variables (encoded as unary facts
+    ["$const"(c)]): true on [C ⊆ Cₙ] iff [D|_{C∪Cₓ} ⊨ q].  Only sound for
+    monotone (hom-closed) queries. *)
+
+val fgmc_const_polynomial : Query.t -> instance -> Poly.Z.t
+(** Coefficient [k] is [FGMC^const_q(D, k)]; lineage-based. *)
+
+val fgmc_const : Query.t -> instance -> int -> Bigint.t
+
+val fgmc_const_polynomial_brute : Query.t -> instance -> Poly.Z.t
+(** Subset enumeration over [2^|Cₙ|] coalitions (ground truth). *)
+
+val fmc_const_polynomial : Query.t -> instance -> Poly.Z.t
+(** @raise Invalid_argument if the instance has exogenous constants. *)

@@ -1,0 +1,33 @@
+let argmax values =
+  match values with
+  | [] -> None
+  | (f0, v0) :: rest ->
+    Some
+      (List.fold_left
+         (fun (bf, bv) (f, v) -> if Rational.compare v bv > 0 then (f, v) else (bf, bv))
+         (f0, v0) rest)
+
+let max_svc q db = argmax (Svc.svc_all q db)
+
+let max_svc_brute q db =
+  argmax (List.map (fun f -> (f, Svc.svc_brute q db f)) (Database.endo_list db))
+
+let top_contributors q db =
+  let values = Svc.svc_all q db in
+  match argmax values with
+  | None -> []
+  | Some (_, best) -> List.filter (fun (_, v) -> Rational.equal v best) values
+
+let singleton_support_is_max q db =
+  if Query.eval q (Database.exo db) then true
+  else begin
+    let values = Svc.svc_all q db in
+    match argmax values with
+    | None -> true
+    | Some (_, best) ->
+      List.for_all
+        (fun (f, v) ->
+           let singleton = Fact.Set.add f (Database.exo db) in
+           (not (Query.eval q singleton)) || Rational.equal v best)
+        values
+  end

@@ -1,0 +1,18 @@
+(** Maximum Shapley value (Section 6.3).
+
+    [max-SVC_q] outputs some endogenous fact of maximal Shapley value
+    together with that value.  Lemma 6.3: in a monotone binary game, a
+    player that is a generalized support on its own attains the maximum. *)
+
+val max_svc : Query.t -> Database.t -> (Fact.t * Rational.t) option
+(** [None] on a database without endogenous facts. *)
+
+val max_svc_brute : Query.t -> Database.t -> (Fact.t * Rational.t) option
+
+val top_contributors : Query.t -> Database.t -> (Fact.t * Rational.t) list
+(** All endogenous facts attaining the maximal Shapley value. *)
+
+val singleton_support_is_max : Query.t -> Database.t -> bool
+(** Empirical check of Lemma 6.3 on a concrete instance: every endogenous
+    fact [s] with [{s} ∪ Dₓ ⊨ q] (when [Dₓ ⊭ q]) has maximal Shapley
+    value.  Vacuously true when no such fact exists. *)

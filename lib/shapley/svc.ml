@@ -1,0 +1,59 @@
+let svc_from_polynomials ~with_mu_exo ~without_mu ~n =
+  let n_fact = Bigint.factorial n in
+  let term j =
+    let c_j =
+      Rational.make
+        (Bigint.mul (Bigint.factorial j) (Bigint.factorial (n - j - 1)))
+        n_fact
+    in
+    let delta =
+      Bigint.sub (Poly.Z.coeff with_mu_exo j) (Poly.Z.coeff without_mu j)
+    in
+    Rational.mul c_j (Rational.of_bigint delta)
+  in
+  let acc = ref Rational.zero in
+  for j = 0 to n - 1 do
+    acc := Rational.add !acc (term j)
+  done;
+  !acc
+
+let svc q db mu =
+  if not (Database.mem_endo mu db) then invalid_arg "Svc.svc: fact is not endogenous";
+  let n = Database.size_endo db in
+  let db_mu_exo = Database.make_exogenous mu db in
+  let db_without = Database.remove mu db in
+  let with_mu_exo = Model_counting.fgmc_polynomial q db_mu_exo in
+  let without_mu = Model_counting.fgmc_polynomial q db_without in
+  svc_from_polynomials ~with_mu_exo ~without_mu ~n
+
+let svc_brute q db mu =
+  if not (Database.mem_endo mu db) then invalid_arg "Svc.svc_brute: fact is not endogenous";
+  let game, players = Game.of_query q db in
+  let idx = ref (-1) in
+  Array.iteri (fun i f -> if Fact.equal f mu then idx := i) players;
+  Game.shapley game !idx
+
+let svc_all q db = List.map (fun f -> (f, svc q db f)) (Database.endo_list db)
+
+let svc_hierarchical q db mu =
+  if not (Database.mem_endo mu db) then
+    invalid_arg "Svc.svc_hierarchical: fact is not endogenous";
+  let n = Database.size_endo db in
+  let with_mu_exo = Safe_plan.fgmc_polynomial q (Database.make_exogenous mu db) in
+  let without_mu = Safe_plan.fgmc_polynomial q (Database.remove mu db) in
+  svc_from_polynomials ~with_mu_exo ~without_mu ~n
+
+let banzhaf q db mu =
+  if not (Database.mem_endo mu db) then invalid_arg "Svc.banzhaf: fact is not endogenous";
+  let n = Database.size_endo db in
+  let with_mu_exo = Model_counting.gmc q (Database.make_exogenous mu db) in
+  let without_mu = Model_counting.gmc q (Database.remove mu db) in
+  Rational.make (Bigint.sub with_mu_exo without_mu) (Bigint.pow Bigint.two (n - 1))
+
+let banzhaf_brute q db mu =
+  if not (Database.mem_endo mu db) then
+    invalid_arg "Svc.banzhaf_brute: fact is not endogenous";
+  let game, players = Game.of_query q db in
+  let idx = ref (-1) in
+  Array.iteri (fun i f -> if Fact.equal f mu then idx := i) players;
+  Game.banzhaf game !idx

@@ -1,0 +1,43 @@
+(** Shapley value computation for facts ([SVC_q], Section 3.1).
+
+    Two independent implementations:
+
+    - {!svc_brute} evaluates Equation 2 directly on the query game
+      ([O(2^|Dₙ|)] query evaluations);
+    - {!svc} runs the reduction of Claim A.1 through the lineage-based FGMC
+      engine: [Sh(μ) = Σ_j C_j (FGMC_j(Dₙ∖μ, Dₓ∪μ) - FGMC_j(Dₙ∖μ, Dₓ))]
+      with [C_j = j!(|Dₙ|-j-1)!/|Dₙ|!]. *)
+
+val svc : Query.t -> Database.t -> Fact.t -> Rational.t
+(** @raise Invalid_argument if the fact is not endogenous. *)
+
+val svc_brute : Query.t -> Database.t -> Fact.t -> Rational.t
+(** @raise Invalid_argument if the fact is not endogenous. *)
+
+val svc_all : Query.t -> Database.t -> (Fact.t * Rational.t) list
+(** Shapley values of all endogenous facts (via {!svc}). *)
+
+val svc_hierarchical : Cq.t -> Database.t -> Fact.t -> Rational.t
+(** The FP side of the [11] dichotomy with a polynomial-time {e guarantee}:
+    Claim A.1 routed through the lifted {!Safe_plan} evaluator.  Only for
+    hierarchical self-join-free CQs.
+    @raise Invalid_argument outside that fragment or if the fact is not
+    endogenous. *)
+
+val svc_from_polynomials : with_mu_exo:Poly.Z.t -> without_mu:Poly.Z.t -> n:int -> Rational.t
+(** The Claim A.1 arithmetic alone: combine the two FGMC generating
+    polynomials (both over a universe of [n-1] endogenous facts, [n] being
+    the player count including [μ]). *)
+
+(** {1 Banzhaf values}
+
+    The other classical power index.  The paper's "SVC is a matter of
+    counting" thesis is even more immediate here: the Banzhaf value of [μ]
+    is [(GMC(Dₙ∖μ, Dₓ∪μ) - GMC(Dₙ∖μ, Dₓ)) / 2^(n-1)] — two plain GMC
+    calls, no size grouping needed. *)
+
+val banzhaf : Query.t -> Database.t -> Fact.t -> Rational.t
+(** Lineage-based, via the two GMC counts.
+    @raise Invalid_argument if the fact is not endogenous. *)
+
+val banzhaf_brute : Query.t -> Database.t -> Fact.t -> Rational.t

@@ -1,0 +1,105 @@
+(* Small deterministic xorshift PRNG, independent of Stdlib.Random so that
+   instances are stable across OCaml versions. *)
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) }
+
+let next r =
+  let open Int64 in
+  let x = r.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  r.state <- x;
+  x
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Workload.int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.logand (next r) Int64.max_int) (Int64.of_int bound))
+
+let bool r = int r 2 = 0
+
+let pick r l =
+  match l with
+  | [] -> invalid_arg "Workload.pick: empty list"
+  | _ -> List.nth l (int r (List.length l))
+
+let random_fact r ~rels ~consts =
+  let name, arity = pick r rels in
+  Fact.make name (List.init arity (fun _ -> pick r consts))
+
+let distinct_facts r ~gen ~count ~avoid =
+  let rec go acc tries =
+    if Fact.Set.cardinal acc >= count then acc
+    else if tries > 1000 * (count + 1) then acc (* pool exhausted *)
+    else begin
+      let f = gen r in
+      if Fact.Set.mem f acc || Fact.Set.mem f avoid then go acc (tries + 1)
+      else go (Fact.Set.add f acc) (tries + 1)
+    end
+  in
+  go Fact.Set.empty 0
+
+let random_database r ~rels ~consts ~n_endo ~n_exo =
+  let gen r = random_fact r ~rels ~consts in
+  let endo = distinct_facts r ~gen ~count:n_endo ~avoid:Fact.Set.empty in
+  let exo = distinct_facts r ~gen ~count:n_exo ~avoid:endo in
+  Database.of_sets ~endo ~exo
+
+let random_graph r ~labels ~nodes ~n_endo ~n_exo =
+  random_database r ~rels:(List.map (fun l -> (l, 2)) labels) ~consts:nodes ~n_endo ~n_exo
+
+let rst_gadget ?(complete = false) ~rows ~extra_exo () =
+  let left i = Printf.sprintf "l%d" i and right i = Printf.sprintf "r%d" i in
+  let r_facts = List.init rows (fun i -> Fact.make "R" [ left i ]) in
+  let t_facts = List.init rows (fun i -> Fact.make "T" [ right i ]) in
+  let s_facts =
+    List.concat
+      (List.init rows (fun i ->
+           List.init rows (fun j ->
+               if complete || (i + j) mod 2 = 0 then
+                 [ Fact.make "S" [ left i; right j ] ]
+               else [])))
+    |> List.concat
+  in
+  if extra_exo then
+    let exo, endo_s =
+      List.partition (fun f -> Hashtbl.hash f mod 3 = 0) s_facts
+    in
+    Database.make ~endo:(r_facts @ t_facts @ endo_s) ~exo
+  else Database.make ~endo:(r_facts @ t_facts @ s_facts) ~exo:[]
+
+let path_graph ~label_word ~n_paths =
+  let l = List.length label_word in
+  let edges =
+    List.concat
+      (List.init n_paths (fun p ->
+           let node i =
+             if i = 0 then "s" else if i = l then "t" else Printf.sprintf "p%d_%d" p i
+           in
+           List.mapi (fun i lbl -> Fact.make lbl [ node i; node (i + 1) ]) label_word))
+  in
+  Database.make ~endo:edges ~exo:[]
+
+let bibliography ~n_authors ~n_papers ~seed =
+  let r = rng seed in
+  let author i = Printf.sprintf "author%d" i and paper i = Printf.sprintf "paper%d" i in
+  let pubs =
+    List.concat
+      (List.init n_authors (fun a ->
+           List.filter_map
+             (fun p -> if int r 3 = 0 then Some (Fact.make "Publication" [ author a; paper p ]) else None)
+             (List.init n_papers (fun p -> p))))
+  in
+  let keywords =
+    List.filter_map
+      (fun p ->
+         Some (Fact.make "Keyword" [ paper p; (if int r 2 = 0 then "shapley" else "logic") ]))
+      (List.init n_papers (fun p -> p))
+  in
+  Fact.Set.of_list (pubs @ keywords)
+
+let star_join ~spokes =
+  let hub = "hub" in
+  let s_facts = List.init spokes (fun i -> Fact.make "S" [ hub; Printf.sprintf "n%d" i ]) in
+  Database.make ~endo:(Fact.make "R" [ hub ] :: s_facts) ~exo:[]

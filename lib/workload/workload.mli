@@ -1,0 +1,58 @@
+(** Deterministic instance generators.
+
+    Random (seeded) and structured databases for the query classes studied
+    in the paper; used by the property tests and by the benchmark harness
+    that regenerates the figures.  All generators are pure functions of
+    their seed. *)
+
+type rng
+
+val rng : int -> rng
+val int : rng -> int -> int
+(** [int r bound] is uniform in [0, bound). *)
+
+val bool : rng -> bool
+val pick : rng -> 'a list -> 'a
+
+(** {1 Random databases} *)
+
+val random_database :
+  rng ->
+  rels:(string * int) list ->
+  consts:string list ->
+  n_endo:int ->
+  n_exo:int ->
+  Database.t
+(** Random facts over the given schema and constant pool; endogenous and
+    exogenous parts are disjoint by construction. *)
+
+val random_graph :
+  rng ->
+  labels:string list ->
+  nodes:string list ->
+  n_endo:int ->
+  n_exo:int ->
+  Database.t
+(** Random labelled graph (binary facts). *)
+
+(** {1 Structured families} *)
+
+val rst_gadget : ?complete:bool -> rows:int -> extra_exo:bool -> unit -> Database.t
+(** Instances for [q_RST = R(x) ∧ S(x,y) ∧ T(y)]: a bipartite block with
+    [rows] left and right nodes, all [R]/[T] facts endogenous and the [S]
+    facts endogenous too; with [extra_exo], some [S] facts are exogenous.
+    By default roughly half of the [S] grid is present; [complete] keeps
+    the full grid (the classic hard-lineage family). *)
+
+val path_graph : label_word:string list -> n_paths:int -> Database.t
+(** [n_paths] parallel fresh paths from ["s"] to ["t"], each labelled by
+    [label_word]; all edges endogenous. *)
+
+val bibliography : n_authors:int -> n_papers:int -> seed:int -> Fact.Set.t
+(** The Section 6.4 Publication/Keyword schema with a random
+    author-paper incidence and a 'shapley' keyword on roughly half the
+    papers. *)
+
+val star_join : spokes:int -> Database.t
+(** Hierarchical instance for [R(x) ∧ S(x,y)]: one hub with [spokes]
+    S-facts. *)

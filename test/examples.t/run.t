@@ -1,0 +1,143 @@
+Output regression for the four runnable examples.
+
+  $ ../../examples/quickstart.exe
+  
+  == A partitioned database ==
+  endo: {Author(alice), Cites(p1,p2), Wrote(alice,p1), Wrote(alice,p3)}
+  exo:  {Cites(p3,p2)}
+  
+  == A Boolean query ==
+  q = CQ[Author(?x), Cites(?y,p2), Wrote(?x,?y)]
+  D ⊨ q?  true
+  
+  == Shapley values of facts (SVC_q) ==
+    Author(alice)        7/12
+    Cites(p1,p2)         1/12
+    Wrote(alice,p1)      1/12
+    Wrote(alice,p3)      1/4
+  
+  == Fixed-size generalized model counting (FGMC_q) ==
+  FGMC polynomial: z^2 + 3·z^3 + z^4
+  generalized supports in total (GMC): 5
+  
+  == Probabilistic evaluation (SPPQE_q) ==
+  Pr(D ⊨ q) at p = 1/3:  11/81  (≈ 0.1358)
+  
+  == Dichotomy classification (Figure 1b) ==
+  verdict: #P-hard
+    rule: non-hierarchical sjf-CQ (Corollary 4.5 + [9])
+  
+  == FGMC through an SVC oracle (Lemma 4.1) ==
+  recovered: z^2 + 3·z^3 + z^4  with 5 SVC calls — matches the direct count
+  
+  $ ../../examples/bibliography.exe
+  q* = CQ[Keyword(?y,shapley), Publication(?x,?y)]
+  
+  Shapley value of author constants (SVC^const, §6.4):
+    alice    1/3      (≈ 0.3333)
+    bob      1/3      (≈ 0.3333)
+    carol    1/3      (≈ 0.3333)
+    dave     0        (≈ 0.0000)
+  (coefficient k = number of author subsets of size k whose induced
+  database contains a 'shapley' publication)
+  
+  FGMC^const polynomial: 3·z^1 + 6·z^2 + 4·z^3 + z^4
+  
+  Prop. 6.3 reduction: recovered 3·z^1 + 6·z^2 + 4·z^3 + z^4 with 5 SVC^const calls — matches
+  
+  Per-fact view (facts of the Publication relation endogenous):
+    Publication(alice,p1)        1/4
+    Publication(alice,p2)        1/4
+    Publication(bob,p2)          1/4
+    Publication(carol,p4)        1/4
+  $ ../../examples/road_network.exe
+  network: 8 edges, query RPQ[RoadRail*Road(home,hub)]
+  
+  reachable? true
+  
+  Shapley value of each link (its share in keeping home → hub):
+    Road(stationC,hub)           69/140   (≈ 0.4929)
+    Road(home,stationA)          67/420   (≈ 0.1595)
+    Rail(stationD,stationC)      23/210   (≈ 0.1095)
+    Road(home,stationD)          23/210   (≈ 0.1095)
+    Rail(stationA,stationC)      8/105    (≈ 0.0762)
+    Rail(stationA,stationB)      11/420   (≈ 0.0262)
+    Rail(stationB,stationC)      11/420   (≈ 0.0262)
+    Ferry(home,hub)              0        (≈ 0.0000)
+  
+  Note how the two unavoidable Road links dominate, the redundant rail
+  segments share their corridor's value, and the Ferry edge gets 0.
+  
+  Corollary 4.3 on related languages:
+    Road                   FP       Corollary 4.3: all words of length ≤ 2
+    Road Rail              FP       Corollary 4.3: all words of length ≤ 2
+    Road Rail Road         #P-hard  Corollary 4.3: word of length ≥ 3
+    Road Rail* Road        #P-hard  Corollary 4.3: word of length ≥ 3
+    Road+Rail              FP       Corollary 4.3: all words of length ≤ 2
+  
+  minimal supports (inclusion-minimal link sets):
+    {Rail(stationD,stationC), Road(home,stationD), Road(stationC,hub)}
+    {
+  Rail(stationA,stationC), Road(home,stationA), Road(stationC,hub)}
+    {
+  Rail(stationA,stationB), Rail(stationB,stationC), Road(home,stationA),
+  Road(stationC,hub)}
+  
+  Pr(connection survives | each link up w.p. 3/4) = 10503/16384 (≈ 0.6411)
+  
+  Shapley value of intermediate stations (SVC^const = node Shapley, §6.4):
+    stationC   2/3      (≈ 0.6667)
+    stationA   1/6      (≈ 0.1667)
+    stationD   1/6      (≈ 0.1667)
+    stationB   0        (≈ 0.0000)
+  $ ../../examples/hardness_pipeline.exe
+  query   : CQ[R(?x), S(?x,?y), T(?y)]  (non-hierarchical: SVC is #P-hard, Cor. 4.5)
+  database:
+  endo: {R(a), S(a,b), S(a,c), T(b), T(c)}
+  exo:  {R(z)}
+  
+  classifier: #P-hard — non-hierarchical sjf-CQ (Corollary 4.5 + [9])
+  
+  running the Lemma 4.1 construction (Figure 2):
+    oracle call 1: |A_n| =  7, |A| =  9, Sh(μ = R(vx#3)) = 17/70
+    oracle call 2: |A_n| =  8, |A| = 11, Sh(μ = R(vx#3)) = 33/280
+    oracle call 3: |A_n| =  9, |A| = 13, Sh(μ = R(vx#3)) = 43/630
+    oracle call 4: |A_n| = 10, |A| = 15, Sh(μ = R(vx#3)) = 37/840
+    oracle call 5: |A_n| = 11, |A| = 17, Sh(μ = R(vx#3)) = 106/3465
+    oracle call 6: |A_n| = 12, |A| = 19, Sh(μ = R(vx#3)) = 69/3080
+  
+  recovered FGMC polynomial: 2·z^3 + 4·z^4 + z^5
+  direct counting          : 2·z^3 + 4·z^4 + z^5
+  agreement: true
+  
+  Reading: coefficient j = number of size-j subsets of the 5 endogenous
+  facts that (with the exogenous R(z)) satisfy q_RST.  The reduction
+  used 6 unit-cost SVC calls plus polynomial-time arithmetic — so a
+  polynomial SVC algorithm would yield a polynomial FGMC algorithm,
+  which cannot exist unless FP = #P.
+  
+  the same counts through a max-SVC oracle (Prop. 6.2):
+    recovered: 2·z^3 + 4·z^4 + z^5 with 6 max-SVC calls
+
+  $ ../../examples/provenance_tour.exe
+  query: Flight(?x,?y), Visa(?y)  —  "is some reachable city visa-ready?"
+  
+  Bool      : true
+  Counting  : 3 derivations
+  Tropical  : cheapest derivation costs 3
+  ℕ[X]      : Flight(lyon,tokyo)·Visa(tokyo) + Flight(paris,osaka)·Visa(osaka) + Flight(paris,tokyo)·Visa(tokyo)
+  
+  universality check: ℕ[X] → Counting gives 3 (same)
+  
+  Boolean lineage (from provenance): ((Flight(lyon,tokyo) ∧ Visa(tokyo)) ∨ (Flight(paris,osaka) ∧ Visa(osaka)) ∨ (Flight(paris,tokyo) ∧ Visa(tokyo)))
+  
+  Shapley values computed from that lineage:
+    Visa(tokyo)              11/30
+    Flight(paris,osaka)      1/5
+    Visa(osaka)              1/5
+    Flight(lyon,tokyo)       7/60
+    Flight(paris,tokyo)      7/60
+  
+  Reading: each Visa fact backs one route and partially another; the
+  redundant Flights split their routes' credit, exactly as the Shapley
+  axioms prescribe.

@@ -1,0 +1,169 @@
+open Test_util
+
+let parse = Regex.parse
+
+let test_parse () =
+  Alcotest.(check bool) "juxtaposition" true
+    (Regex.equal (parse "AB") (Regex.seq (Regex.sym "A") (Regex.sym "B")));
+  Alcotest.(check bool) "alternation binds loosest" true
+    (Regex.equal (parse "AB+C")
+       (Regex.alt (Regex.seq (Regex.sym "A") (Regex.sym "B")) (Regex.sym "C")));
+  Alcotest.(check bool) "star binds tightest" true
+    (Regex.equal (parse "AB*") (Regex.seq (Regex.sym "A") (Regex.star (Regex.sym "B"))));
+  Alcotest.(check bool) "parens" true
+    (Regex.equal (parse "(AB)*") (Regex.star (Regex.seq (Regex.sym "A") (Regex.sym "B"))));
+  Alcotest.(check bool) "quoted names" true
+    (Regex.equal (parse "'Publication'") (Regex.sym "Publication"));
+  Alcotest.(check bool) "numbered symbol" true
+    (Regex.equal (parse "R1 R2") (Regex.seq (Regex.sym "R1") (Regex.sym "R2")));
+  Alcotest.(check bool) "option" true (Regex.nullable (parse "A?"));
+  Alcotest.check_raises "unbalanced" (Invalid_argument "Regex.parse: missing closing parenthesis")
+    (fun () -> ignore (parse "(AB"))
+
+let test_print_parse_roundtrip () =
+  List.iter
+    (fun s ->
+       let r = parse s in
+       Alcotest.(check bool) s true (Regex.equal (parse (Regex.to_string r)) r))
+    [ "AB+BA"; "A(B+C)*D"; "AB*C"; "(A+B)(C+D)"; "A?B"; "'Long'A" ]
+
+let test_nullable_empty () =
+  Alcotest.(check bool) "A* nullable" true (Regex.nullable (parse "A*"));
+  Alcotest.(check bool) "A not nullable" false (Regex.nullable (parse "A"));
+  Alcotest.(check bool) "AB* not nullable" false (Regex.nullable (parse "AB*"));
+  Alcotest.(check bool) "empty lang" true (Regex.is_empty_lang Regex.empty);
+  Alcotest.(check bool) "A* not empty" false (Regex.is_empty_lang (parse "A*"))
+
+let test_nfa_membership () =
+  let nfa = Nfa.of_regex (parse "A B* C") in
+  let accepts w = Nfa.accepts nfa w in
+  Alcotest.(check bool) "AC" true (accepts [ "A"; "C" ]);
+  Alcotest.(check bool) "ABC" true (accepts [ "A"; "B"; "C" ]);
+  Alcotest.(check bool) "ABBBC" true (accepts [ "A"; "B"; "B"; "B"; "C" ]);
+  Alcotest.(check bool) "A" false (accepts [ "A" ]);
+  Alcotest.(check bool) "empty" false (accepts []);
+  Alcotest.(check bool) "CB" false (accepts [ "C"; "B" ])
+
+let test_dfa_agrees_with_nfa () =
+  let exprs = [ "A B* C"; "AB+BA"; "(A+B)*A"; "A?B?C?"; "A(BA)*" ] in
+  let words =
+    [ []; [ "A" ]; [ "B" ]; [ "C" ]; [ "A"; "B" ]; [ "B"; "A" ]; [ "A"; "C" ];
+      [ "A"; "B"; "A" ]; [ "A"; "B"; "C" ]; [ "B"; "A"; "B"; "A" ];
+      [ "A"; "A" ]; [ "C"; "C"; "C" ] ]
+  in
+  List.iter
+    (fun e ->
+       let r = parse e in
+       let nfa = Nfa.of_regex r and dfa = Dfa.of_regex r in
+       List.iter
+         (fun w ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s on %s" e (String.concat "" w))
+              (Nfa.accepts nfa w) (Dfa.accepts dfa w))
+         words)
+    exprs
+
+let test_shortest () =
+  Alcotest.(check (option int)) "ABC" (Some 3) (Words.shortest_length (parse "ABC"));
+  Alcotest.(check (option int)) "A*" (Some 0) (Words.shortest_length (parse "A*"));
+  Alcotest.(check (option int)) "AB*C" (Some 2) (Words.shortest_length (parse "AB*C"));
+  Alcotest.(check (option int)) "empty" None (Words.shortest_length Regex.empty);
+  Alcotest.(check (option (list string))) "witness" (Some [ "A"; "C" ])
+    (Words.shortest_word (parse "AB*C"))
+
+let test_exists_length () =
+  let r = parse "A(BB)*C" in
+  Alcotest.(check bool) "length 2" true (Words.exists_length r 2);
+  Alcotest.(check bool) "length 3" false (Words.exists_length r 3);
+  Alcotest.(check bool) "length 4" true (Words.exists_length r 4);
+  Alcotest.(check bool) "length 0 of A*" true (Words.exists_length (parse "A*") 0);
+  Alcotest.(check bool) "negative" false (Words.exists_length r (-1))
+
+let test_exists_length_geq () =
+  Alcotest.(check bool) "A+B ≥ 2" false (Words.exists_length_geq (parse "A+B") 2);
+  Alcotest.(check bool) "AB+BA ≥ 2" true (Words.exists_length_geq (parse "AB+BA") 2);
+  Alcotest.(check bool) "AB+BA ≥ 3" false (Words.exists_length_geq (parse "AB+BA") 3);
+  Alcotest.(check bool) "AB*C ≥ 1000" true (Words.exists_length_geq (parse "AB*C") 1000);
+  Alcotest.(check bool) "∅ ≥ 0" false (Words.exists_length_geq Regex.empty 0)
+
+let test_length_profile () =
+  Alcotest.(check bool) "bounded" true (Words.length_profile (parse "AB+C") = Words.Bounded 2);
+  Alcotest.(check bool) "unbounded" true (Words.length_profile (parse "AB*") = Words.Unbounded);
+  Alcotest.(check bool) "empty" true (Words.length_profile Regex.empty = Words.Empty_language);
+  Alcotest.(check bool) "eps" true (Words.length_profile Regex.eps = Words.Bounded 0);
+  Alcotest.(check bool) "finite" true (Words.is_finite (parse "(A+B)(C+D)"));
+  Alcotest.(check bool) "infinite" false (Words.is_finite (parse "(AB)*C"))
+
+let test_words_of_length () =
+  let ws = Words.words_of_length (parse "(A+B)(A+B)") 2 in
+  Alcotest.(check int) "4 words" 4 (List.length ws);
+  let ws3 = Words.words_of_length (parse "A*") 3 in
+  Alcotest.(check (list (list string))) "AAA" [ [ "A"; "A"; "A" ] ] ws3;
+  Alcotest.(check int) "none of wrong length" 0
+    (List.length (Words.words_of_length (parse "AB") 3));
+  (* every enumerated word is accepted *)
+  let r = parse "A(B+C)*D" in
+  let nfa = Nfa.of_regex r in
+  List.iter
+    (fun w -> Alcotest.(check bool) "accepted" true (Nfa.accepts nfa w))
+    (Words.words_of_length r 4)
+
+let test_some_word_geq () =
+  (match Words.some_word_of_length_geq (parse "AB*C") 5 with
+   | Some w ->
+     Alcotest.(check int) "length ≥ 5" 5 (List.length w);
+     Alcotest.(check bool) "accepted" true (Nfa.accepts (Nfa.of_regex (parse "AB*C")) w)
+   | None -> Alcotest.fail "expected a word");
+  Alcotest.(check bool) "no long word" true (Words.some_word_of_length_geq (parse "AB") 3 = None)
+
+(* random regex generator for agreement properties *)
+let arb_regex =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then oneof [ return (Regex.sym "A"); return (Regex.sym "B"); return Regex.eps ]
+      else
+        oneof
+          [
+            map2 Regex.seq (self (n / 2)) (self (n / 2));
+            map2 Regex.alt (self (n / 2)) (self (n / 2));
+            map Regex.star (self (n - 1));
+            return (Regex.sym "A");
+            return (Regex.sym "B");
+          ])
+
+let arb_word = QCheck2.Gen.(list_size (int_range 0 6) (oneofl [ "A"; "B" ]))
+
+let prop_nfa_dfa_agree =
+  qcheck ~count:200 "NFA and DFA agree" (QCheck2.Gen.pair arb_regex arb_word)
+    (fun (r, w) -> Nfa.accepts (Nfa.of_regex r) w = Dfa.accepts (Dfa.of_regex r) w)
+
+let prop_exists_length_consistent =
+  qcheck ~count:100 "exists_length matches enumeration"
+    (QCheck2.Gen.pair arb_regex (QCheck2.Gen.int_range 0 4))
+    (fun (r, k) -> Words.exists_length r k = (Words.words_of_length r k <> []))
+
+let prop_shortest_is_shortest =
+  qcheck ~count:100 "shortest_length is tight" arb_regex (fun r ->
+      match Words.shortest_length r with
+      | None -> not (Words.exists_length r 0) && not (Words.exists_length r 1)
+      | Some l ->
+        Words.exists_length r l
+        && List.for_all (fun k -> not (Words.exists_length r k)) (List.init l Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "regex parsing" `Quick test_parse;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    Alcotest.test_case "nullable and empty" `Quick test_nullable_empty;
+    Alcotest.test_case "NFA membership" `Quick test_nfa_membership;
+    Alcotest.test_case "DFA agreement" `Quick test_dfa_agrees_with_nfa;
+    Alcotest.test_case "shortest word" `Quick test_shortest;
+    Alcotest.test_case "exists_length" `Quick test_exists_length;
+    Alcotest.test_case "exists_length_geq" `Quick test_exists_length_geq;
+    Alcotest.test_case "length profiles" `Quick test_length_profile;
+    Alcotest.test_case "word enumeration" `Quick test_words_of_length;
+    Alcotest.test_case "witness of length ≥ k" `Quick test_some_word_geq;
+    prop_nfa_dfa_agree;
+    prop_exists_length_consistent;
+    prop_shortest_is_shortest;
+  ]

@@ -1,0 +1,194 @@
+open Test_util
+
+let b = Bigint.of_int
+let s = Bigint.of_string
+
+let test_constants () =
+  check_bigint "zero" (b 0) Bigint.zero;
+  check_bigint "one" (b 1) Bigint.one;
+  check_bigint "minus_one" (b (-1)) Bigint.minus_one;
+  Alcotest.(check bool) "is_zero zero" true (Bigint.is_zero Bigint.zero);
+  Alcotest.(check bool) "is_zero one" false (Bigint.is_zero Bigint.one);
+  Alcotest.(check int) "sign pos" 1 (Bigint.sign (b 42));
+  Alcotest.(check int) "sign neg" (-1) (Bigint.sign (b (-42)));
+  Alcotest.(check int) "sign zero" 0 (Bigint.sign Bigint.zero)
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Bigint.to_int (b n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 30; -(1 lsl 30); max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun str -> Alcotest.(check string) str str (Bigint.to_string (s str)))
+    [ "0"; "1"; "-1"; "123456789"; "-987654321";
+      "123456789012345678901234567890123456789";
+      "-340282366920938463463374607431768211456";
+      "10000000000000000000000000000000000000000000001" ]
+
+let test_to_int_overflow () =
+  let big = s "123456789012345678901234567890" in
+  Alcotest.(check (option int)) "overflow" None (Bigint.to_int_opt big);
+  Alcotest.check_raises "to_int raises" (Failure "Bigint.to_int: overflow") (fun () ->
+      ignore (Bigint.to_int big))
+
+let test_addition () =
+  check_bigint "2+3" (b 5) (Bigint.add (b 2) (b 3));
+  check_bigint "neg" (b (-1)) (Bigint.add (b 2) (b (-3)));
+  check_bigint "cancel" Bigint.zero (Bigint.add (b 7) (b (-7)));
+  let big = s "99999999999999999999999999999" in
+  check_bigint "carry chain" (s "100000000000000000000000000000") (Bigint.add big Bigint.one)
+
+let test_subtraction () =
+  check_bigint "5-3" (b 2) (Bigint.sub (b 5) (b 3));
+  check_bigint "3-5" (b (-2)) (Bigint.sub (b 3) (b 5));
+  let big = s "100000000000000000000000000000" in
+  check_bigint "borrow chain" (s "99999999999999999999999999999") (Bigint.sub big Bigint.one)
+
+let test_multiplication () =
+  check_bigint "6*7" (b 42) (Bigint.mul (b 6) (b 7));
+  check_bigint "sign" (b (-42)) (Bigint.mul (b 6) (b (-7)));
+  check_bigint "zero" Bigint.zero (Bigint.mul (b 12345) Bigint.zero);
+  check_bigint "square"
+    (s "15241578753238836750495351562536198787501905199875019052100")
+    (Bigint.mul (s "123456789012345678901234567890") (s "123456789012345678901234567890"))
+
+let test_division () =
+  let q, r = Bigint.divmod (b 17) (b 5) in
+  check_bigint "17/5" (b 3) q;
+  check_bigint "17 mod 5" (b 2) r;
+  let q, r = Bigint.divmod (b (-17)) (b 5) in
+  check_bigint "-17/5 (truncated)" (b (-3)) q;
+  check_bigint "-17 mod 5" (b (-2)) r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod (b 1) Bigint.zero));
+  check_bigint "divexact" (b 111) (Bigint.divexact (b 333) (b 3));
+  Alcotest.check_raises "divexact inexact"
+    (Invalid_argument "Bigint.divexact: inexact division") (fun () ->
+        ignore (Bigint.divexact (b 10) (b 3)))
+
+let test_factorial () =
+  check_bigint "0!" Bigint.one (Bigint.factorial 0);
+  check_bigint "5!" (b 120) (Bigint.factorial 5);
+  check_bigint "20!" (s "2432902008176640000") (Bigint.factorial 20);
+  check_bigint "30!" (s "265252859812191058636308480000000") (Bigint.factorial 30);
+  (* n! = n * (n-1)! *)
+  for n = 1 to 40 do
+    check_bigint
+      (Printf.sprintf "%d! recurrence" n)
+      (Bigint.mul_int (Bigint.factorial (n - 1)) n)
+      (Bigint.factorial n)
+  done
+
+let test_binomial () =
+  check_bigint "C(0,0)" Bigint.one (Bigint.binomial 0 0);
+  check_bigint "C(5,2)" (b 10) (Bigint.binomial 5 2);
+  check_bigint "C(5,7)" Bigint.zero (Bigint.binomial 5 7);
+  check_bigint "C(5,-1)" Bigint.zero (Bigint.binomial 5 (-1));
+  check_bigint "C(60,30)" (s "118264581564861424") (Bigint.binomial 60 30);
+  (* Pascal: C(n,k) = C(n-1,k-1) + C(n-1,k) *)
+  for n = 1 to 25 do
+    for k = 1 to n - 1 do
+      check_bigint "pascal"
+        (Bigint.add (Bigint.binomial (n - 1) (k - 1)) (Bigint.binomial (n - 1) k))
+        (Bigint.binomial n k)
+    done
+  done
+
+let test_falling_factorial () =
+  check_bigint "ff(5,0)" Bigint.one (Bigint.falling_factorial 5 0);
+  check_bigint "ff(5,2)" (b 20) (Bigint.falling_factorial 5 2);
+  check_bigint "ff(5,5)" (b 120) (Bigint.falling_factorial 5 5);
+  check_bigint "ff(5,6)" Bigint.zero (Bigint.falling_factorial 5 6)
+
+let test_pow () =
+  check_bigint "2^10" (b 1024) (Bigint.pow (b 2) 10);
+  check_bigint "x^0" Bigint.one (Bigint.pow (b 999) 0);
+  check_bigint "(-2)^3" (b (-8)) (Bigint.pow (b (-2)) 3);
+  check_bigint "10^30" (s "1000000000000000000000000000000") (Bigint.pow (b 10) 30)
+
+let test_gcd () =
+  check_bigint "gcd(12,18)" (b 6) (Bigint.gcd (b 12) (b 18));
+  check_bigint "gcd(-12,18)" (b 6) (Bigint.gcd (b (-12)) (b 18));
+  check_bigint "gcd(0,5)" (b 5) (Bigint.gcd Bigint.zero (b 5));
+  check_bigint "gcd(0,0)" Bigint.zero (Bigint.gcd Bigint.zero Bigint.zero);
+  check_bigint "gcd of factorials" (Bigint.factorial 20)
+    (Bigint.gcd (Bigint.factorial 20) (Bigint.factorial 25))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true (Bigint.lt (b (-5)) (b 3));
+  Alcotest.(check bool) "big vs small" true (Bigint.gt (s "10000000000000000000000") (b max_int));
+  Alcotest.(check bool) "neg big" true (Bigint.lt (s "-10000000000000000000000") (b min_int));
+  check_bigint "min" (b 1) (Bigint.min (b 1) (b 2));
+  check_bigint "max" (b 2) (Bigint.max (b 1) (b 2))
+
+(* qcheck generators over int pairs; exercised through of_int *)
+let arb_pair = QCheck2.Gen.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+
+let prop_add_matches_int =
+  qcheck "add matches int semantics" arb_pair (fun (x, y) ->
+      Bigint.equal (Bigint.add (b x) (b y)) (b (x + y)))
+
+let prop_mul_matches_int =
+  qcheck "mul matches int semantics" arb_pair (fun (x, y) ->
+      Bigint.equal (Bigint.mul (b x) (b y)) (b (x * y)))
+
+let prop_divmod_invariant =
+  qcheck "a = q*b + r with |r| < |b|"
+    QCheck2.Gen.(pair (int_range (-1000000) 1000000) (int_range 1 9999))
+    (fun (a, d) ->
+       let q, r = Bigint.divmod (b a) (b d) in
+       Bigint.equal (Bigint.add (Bigint.mul q (b d)) r) (b a)
+       && Bigint.lt (Bigint.abs r) (Bigint.abs (b d)))
+
+let prop_string_roundtrip =
+  qcheck "of_string ∘ to_string = id"
+    QCheck2.Gen.(list_size (int_range 1 5) (int_range 0 9999))
+    (fun chunks ->
+       (* build a large random number from chunks *)
+       let n =
+         List.fold_left
+           (fun acc c -> Bigint.add (Bigint.mul acc (b 10000)) (b c))
+           Bigint.one chunks
+       in
+       Bigint.equal (Bigint.of_string (Bigint.to_string n)) n)
+
+let prop_gcd_divides =
+  qcheck "gcd divides both"
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (x, y) ->
+       let g = Bigint.gcd (b x) (b y) in
+       Bigint.is_zero (Bigint.rem (b x) g) && Bigint.is_zero (Bigint.rem (b y) g))
+
+let prop_big_divmod =
+  qcheck "divmod invariant on large operands"
+    QCheck2.Gen.(pair (int_range 2 999999) (int_range 2 999999))
+    (fun (x, y) ->
+       (* a = x^5, d = y^2: multi-limb operands *)
+       let a = Bigint.pow (b x) 5 and d = Bigint.pow (b y) 2 in
+       let q, r = Bigint.divmod a d in
+       Bigint.equal (Bigint.add (Bigint.mul q d) r) a && Bigint.lt (Bigint.abs r) d)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+    Alcotest.test_case "addition" `Quick test_addition;
+    Alcotest.test_case "subtraction" `Quick test_subtraction;
+    Alcotest.test_case "multiplication" `Quick test_multiplication;
+    Alcotest.test_case "division" `Quick test_division;
+    Alcotest.test_case "factorial" `Quick test_factorial;
+    Alcotest.test_case "binomial" `Quick test_binomial;
+    Alcotest.test_case "falling factorial" `Quick test_falling_factorial;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "gcd" `Quick test_gcd;
+    Alcotest.test_case "compare" `Quick test_compare;
+    prop_add_matches_int;
+    prop_mul_matches_int;
+    prop_divmod_invariant;
+    prop_string_roundtrip;
+    prop_gcd_divides;
+    prop_big_divmod;
+  ]

@@ -1,0 +1,146 @@
+open Test_util
+
+let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
+
+let test_fgmc_known_values () =
+  (* a fully worked instance: R(1), S(1,2), T(2) endogenous — supports are
+     exactly the supersets of all three facts *)
+  let db = Database.make ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ] ~exo:[] in
+  check_zpoly "single support"
+    (Poly.Z.monomial Bigint.one 3)
+    (Model_counting.fgmc_polynomial qrst db);
+  check_bigint "gmc" Bigint.one (Model_counting.gmc qrst db);
+  check_bigint "fgmc 3" Bigint.one (Model_counting.fgmc qrst db 3);
+  check_bigint "fgmc 2" Bigint.zero (Model_counting.fgmc qrst db 2)
+
+let test_fgmc_with_exo () =
+  let db =
+    Database.make ~endo:[ fact "S" [ "1"; "2" ] ] ~exo:[ fact "R" [ "1" ]; fact "T" [ "2" ] ]
+  in
+  check_zpoly "exo-completed"
+    (Poly.Z.monomial Bigint.one 1)
+    (Model_counting.fgmc_polynomial qrst db);
+  (* satisfied by exogenous part alone *)
+  let db2 =
+    Database.make ~endo:[ fact "S" [ "9"; "9" ] ]
+      ~exo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ]
+  in
+  check_zpoly "always satisfied"
+    (Poly.Z.of_coeffs [ Bigint.one; Bigint.one ])
+    (Model_counting.fgmc_polynomial qrst db2)
+
+let test_mc_guards () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[ fact "T" [ "2" ] ] in
+  Alcotest.check_raises "mc refuses exo"
+    (Invalid_argument "Model_counting.mc: database has exogenous facts (use the generalized variant)")
+    (fun () -> ignore (Model_counting.mc qrst db));
+  Alcotest.check_raises "fmc refuses exo"
+    (Invalid_argument "Model_counting.fmc: database has exogenous facts (use the generalized variant)")
+    (fun () -> ignore (Model_counting.fmc qrst db 1))
+
+let test_prob_db () =
+  let f1 = fact "R" [ "1" ] and f2 = fact "S" [ "1"; "2" ] in
+  let pdb = Prob_db.make [ (f1, Rational.of_ints 1 2); (f2, Rational.one) ] in
+  Alcotest.(check bool) "half instance (with 1s)" true (Prob_db.is_half_one_instance pdb);
+  Alcotest.(check bool) "not pure half" false (Prob_db.is_half_instance pdb);
+  Alcotest.(check bool) "sppqe instance" true (Prob_db.is_sppqe_instance pdb);
+  Alcotest.(check bool) "not spqe instance" false (Prob_db.is_spqe_instance pdb);
+  let db = Prob_db.to_database pdb in
+  Alcotest.(check bool) "prob-1 fact exogenous" true (Database.mem_exo f2 db);
+  Alcotest.(check bool) "prob-1/2 fact endogenous" true (Database.mem_endo f1 db);
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Prob_db: probabilities must lie in (0, 1]") (fun () ->
+        ignore (Prob_db.make [ (f1, Rational.zero) ]));
+  Alcotest.check_raises "repeated fact" (Invalid_argument "Prob_db.make: repeated fact")
+    (fun () -> ignore (Prob_db.make [ (f1, Rational.half); (f1, Rational.half) ]))
+
+let test_pqe_known_value () =
+  (* q = R(x): two R facts with probs 1/2, 1/3 → Pr = 1 - 1/2·2/3 = 2/3 *)
+  let q = Query_parse.parse "R(?x)" in
+  let pdb =
+    Prob_db.make
+      [ (fact "R" [ "1" ], Rational.half); (fact "R" [ "2" ], Rational.of_ints 1 3) ]
+  in
+  check_rational "pqe" (Rational.of_ints 2 3) (Pqe.pqe q pdb);
+  check_rational "brute agrees" (Pqe.pqe_brute q pdb) (Pqe.pqe q pdb)
+
+let test_sppqe_edge_cases () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[] in
+  let q = Query_parse.parse "R(?x)" in
+  check_rational "p=1" Rational.one (Pqe.sppqe q db Rational.one);
+  check_rational "p=1/2" Rational.half (Pqe.sppqe q db Rational.half);
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Pqe.sppqe: probability must lie in (0, 1]") (fun () ->
+        ignore (Pqe.sppqe_of_polynomial Poly.Z.one ~n:0 Rational.zero));
+  Alcotest.check_raises "spqe guards exo"
+    (Invalid_argument "Pqe.spqe: database has exogenous facts (use sppqe)") (fun () ->
+        ignore
+          (Pqe.spqe q (Database.make ~endo:[] ~exo:[ fact "R" [ "9" ] ]) Rational.half))
+
+let random_db seed =
+  let r = Workload.rng seed in
+  Workload.random_database r
+    ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+    ~consts:[ "1"; "2"; "3" ]
+    ~n_endo:(2 + Workload.int r 5)
+    ~n_exo:(Workload.int r 3)
+
+let prop_fgmc_lineage_vs_brute =
+  qcheck ~count:60 "FGMC lineage = brute" QCheck2.Gen.(int_range 0 1000000) (fun seed ->
+      fgmc_agree qrst (random_db seed))
+
+let prop_gmc_total =
+  qcheck ~count:40 "GMC is the polynomial total" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let db = random_db seed in
+       Bigint.equal (Model_counting.gmc qrst db)
+         (Poly.Z.total (Model_counting.fgmc_polynomial qrst db)))
+
+let prop_pqe_lineage_vs_brute =
+  qcheck ~count:40 "PQE lineage = brute (mixed probabilities)"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let db = random_db seed in
+       let r = Workload.rng (seed + 17) in
+       let assoc =
+         List.map
+           (fun f -> (f, Rational.of_ints (1 + Workload.int r 3) 4))
+           (Database.endo_list db)
+         @ List.map (fun f -> (f, Rational.one)) (Fact.Set.elements (Database.exo db))
+       in
+       let pdb = Prob_db.make assoc in
+       Rational.equal (Pqe.pqe qrst pdb) (Pqe.pqe_brute qrst pdb))
+
+let prop_sppqe_identity =
+  qcheck ~count:40 "SPPQE via polynomial = brute uniform PQE"
+    QCheck2.Gen.(pair (int_range 0 1000000) (int_range 1 4))
+    (fun (seed, num) ->
+       let db = random_db seed in
+       let p = Rational.of_ints num 5 in
+       let pdb = Prob_db.uniform db p in
+       Rational.equal (Pqe.sppqe qrst db p) (Pqe.pqe_brute qrst pdb))
+
+let prop_binomial_when_exo_satisfies =
+  qcheck ~count:20 "FGMC is binomial when Dₓ ⊨ q" QCheck2.Gen.(int_range 1 6) (fun n ->
+      let support = [ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ] in
+      let extra = List.init n (fun i -> fact "R" [ Printf.sprintf "e%d" i ]) in
+      let db = Database.make ~endo:extra ~exo:support in
+      let p = Model_counting.fgmc_polynomial qrst db in
+      List.for_all
+        (fun j -> Bigint.equal (Poly.Z.coeff p j) (Bigint.binomial n j))
+        (List.init (n + 1) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "FGMC known values" `Quick test_fgmc_known_values;
+    Alcotest.test_case "FGMC with exogenous facts" `Quick test_fgmc_with_exo;
+    Alcotest.test_case "MC/FMC guards" `Quick test_mc_guards;
+    Alcotest.test_case "probabilistic databases" `Quick test_prob_db;
+    Alcotest.test_case "PQE known value" `Quick test_pqe_known_value;
+    Alcotest.test_case "SPPQE edge cases" `Quick test_sppqe_edge_cases;
+    prop_fgmc_lineage_vs_brute;
+    prop_gmc_total;
+    prop_pqe_lineage_vs_brute;
+    prop_sppqe_identity;
+    prop_binomial_when_exo_satisfies;
+  ]

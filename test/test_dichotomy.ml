@@ -1,0 +1,187 @@
+open Test_util
+
+let verdict_of q = (Classify.classify q).Classify.verdict
+
+let test_safety_sjf () =
+  (* the lifted-inference procedure must coincide with hierarchy on sjf-CQs *)
+  List.iter
+    (fun (s, expected) ->
+       let c = Cq.parse s in
+       let got = Safety.cq c in
+       Alcotest.(check string) s (Safety.verdict_to_string expected)
+         (Safety.verdict_to_string got))
+    [
+      ("R(?x)", Safety.Safe);
+      ("R(?x), S(?x,?y)", Safety.Safe);
+      ("R(?x), S(?x,?y), U(?x,?y,?z)", Safety.Safe);
+      ("R(?x), S(?x,?y), T(?y)", Safety.Unsafe);
+      ("R(?x), S(?y)", Safety.Safe);
+      ("A(?x,?y), B(?y,?z), C(?z,?w)", Safety.Unsafe);
+    ]
+
+let test_safety_matches_hierarchy_random () =
+  (* exhaustive-ish check over generated sjf-CQs on three relations *)
+  let vars = [ "x"; "y"; "z" ] in
+  let pick_var r = Term.var (Workload.pick r vars) in
+  let rng = Workload.rng 2024 in
+  for _ = 1 to 200 do
+    let atoms =
+      [ Atom.make "R" [ pick_var rng ];
+        Atom.make "S" [ pick_var rng; pick_var rng ];
+        Atom.make "T" [ pick_var rng ] ]
+    in
+    let q = Cq.of_atoms atoms in
+    let q_core = Cq.core q in
+    if Cq.is_self_join_free q_core then begin
+      let hier = Cq.is_hierarchical q_core in
+      match Safety.cq q with
+      | Safety.Safe -> Alcotest.(check bool) (Cq.to_string q) true hier
+      | Safety.Unsafe -> Alcotest.(check bool) (Cq.to_string q) false hier
+      | Safety.Unknown -> Alcotest.fail ("unknown on sjf: " ^ Cq.to_string q)
+    end
+  done
+
+let test_safety_ucq () =
+  (* independent union of two safe queries *)
+  Alcotest.(check string) "independent union" "safe"
+    (Safety.verdict_to_string (Safety.ucq (Ucq.parse "R(?x) | S(?x,?y)")));
+  (* union containing an unsafe disjunct over separate vocabulary *)
+  Alcotest.(check string) "unsafe component" "unsafe"
+    (Safety.verdict_to_string
+       (Safety.ucq (Ucq.parse "A(?x) | R(?x), S(?x,?y), T(?y)")));
+  (* inclusion–exclusion: safe disjuncts sharing a relation *)
+  Alcotest.(check string) "IE safe" "safe"
+    (Safety.verdict_to_string (Safety.ucq (Ucq.parse "R(?x), S(?x,?y) | S(?u,?v)")))
+
+let test_classify_rpq () =
+  let j l = Classify.classify_rpq (Rpq.of_string l ~src:"s" ~dst:"t") in
+  Alcotest.(check string) "A" "FP" (Classify.verdict_to_string (j "A").Classify.verdict);
+  Alcotest.(check string) "AB" "FP" (Classify.verdict_to_string (j "AB").Classify.verdict);
+  Alcotest.(check string) "ABC" "#P-hard" (Classify.verdict_to_string (j "ABC").Classify.verdict);
+  Alcotest.(check string) "AB*" "#P-hard" (Classify.verdict_to_string (j "AB*").Classify.verdict);
+  Alcotest.(check string) "A+BC" "FP" (Classify.verdict_to_string (j "A+BC").Classify.verdict)
+
+let test_classify_sjf_cq () =
+  Alcotest.(check bool) "hierarchical FP" true
+    (verdict_of (Query_parse.parse "R(?x), S(?x,?y)") = Classify.FP);
+  Alcotest.(check bool) "q_RST hard" true
+    (verdict_of (Query_parse.parse "R(?x), S(?x,?y), T(?y)") = Classify.SharpP_hard);
+  Alcotest.check_raises "self-join rejected"
+    (Invalid_argument "Classify.classify_sjf_cq: query has self-joins") (fun () ->
+        ignore (Classify.classify_sjf_cq (Cq.parse "R(?x,?y), R(?y,?z)")))
+
+let test_classify_ucq () =
+  Alcotest.(check bool) "safe union" true
+    (verdict_of (Query_parse.parse "ucq: R(?x) | S(?x,?y)") = Classify.FP);
+  Alcotest.(check bool) "union with hard connected disjunct" true
+    (verdict_of (Query_parse.parse "ucq: A(?x) | R(?x), S(?x,?y), T(?y)")
+     = Classify.SharpP_hard)
+
+let test_classify_cqneg () =
+  Alcotest.(check bool) "hierarchical CQ¬" true
+    (verdict_of (Query_parse.parse "cqneg: R(?x), S(?x,?y), !W(?x,?y)") = Classify.FP);
+  Alcotest.(check bool) "non-hierarchical CQ¬" true
+    (verdict_of (Query_parse.parse "cqneg: R(?x), S(?x,?y), !T(?y)") = Classify.SharpP_hard)
+
+let test_classify_graph_queries () =
+  (* unbounded connected graph query: hard by [1] through Cor 4.2 *)
+  Alcotest.(check bool) "A* CRPQ hard" true
+    (verdict_of (Query_parse.parse "crpq: (AAA*)(?x,?y)") = Classify.SharpP_hard);
+  (* bounded cc-disjoint CRPQ expands to a UCQ *)
+  Alcotest.(check bool) "bounded sjf-CRPQ safe" true
+    (verdict_of (Query_parse.parse "crpq: A(?x,?y)") = Classify.FP);
+  (* cc-disjoint with a hard component *)
+  Alcotest.(check bool) "cc-disjoint hard component" true
+    (verdict_of (Query_parse.parse "crpq: (ABC)(?x,?y), D(?u,?v)") = Classify.SharpP_hard)
+
+let test_classify_decomposable_and () =
+  let q =
+    Query.And (Query_parse.parse "R(?x), S(?x,?y)", Query_parse.parse "T(?u)")
+  in
+  Alcotest.(check bool) "conjunction of safe parts" true (verdict_of q = Classify.FP);
+  let qh =
+    Query.And (Query_parse.parse "R(?x), S(?x,?y), T(?y)", Query_parse.parse "U(?u)")
+  in
+  Alcotest.(check bool) "conjunction with hard part" true (verdict_of qh = Classify.SharpP_hard)
+
+let test_pseudo_connected_witnesses () =
+  (match Pseudo_connected.witness (Query_parse.parse "R(?x), S(?x,?y), T(?y)") with
+   | Some w ->
+     Alcotest.(check int) "island size" 3 (Fact.Set.cardinal w.Pseudo_connected.island)
+   | None -> Alcotest.fail "expected connected witness");
+  (match Pseudo_connected.witness (Query_parse.parse "rpq: (ABC)(s,t)") with
+   | Some w ->
+     Alcotest.(check bool) "rule is B.1" true
+       (w.Pseudo_connected.rule = "Lemma B.1 (RPQ, word of length ≥ 2)")
+   | None -> Alcotest.fail "expected RPQ witness");
+  Alcotest.(check bool) "A+B has no witness" true
+    (Pseudo_connected.witness (Query_parse.parse "rpq: (A+B)(s,t)") = None);
+  (* disconnected query: no pseudo-connectivity witness *)
+  Alcotest.(check bool) "disconnected CQ" true
+    (Pseudo_connected.witness (Query_parse.parse "R(?x), S(?y)") = None)
+
+let test_decomposable_witnesses () =
+  (match
+     Decomposable.witness
+       (Query.And (Query_parse.parse "R(?x)", Query_parse.parse "S(?y)"))
+   with
+   | Some d ->
+     Alcotest.(check bool) "vocabularies disjoint" true
+       (Term.Sset.is_empty
+          (Term.Sset.inter (Query.rels d.Decomposable.q1) (Query.rels d.Decomposable.q2)))
+   | None -> Alcotest.fail "expected decomposition");
+  Alcotest.(check bool) "shared vocabulary refused" true
+    (Decomposable.witness (Query.And (Query_parse.parse "R(?x)", Query_parse.parse "R(?y)"))
+     = None);
+  (match Decomposable.witness (Query_parse.parse "crpq: A(?x,?y), B(?u,?v)") with
+   | Some _ -> ()
+   | None -> Alcotest.fail "expected CRPQ decomposition")
+
+(* Consistency: every query classified FP must have its lineage-based FGMC
+   agree with brute force on random instances (the FP algorithms are real). *)
+let prop_fp_queries_computable =
+  qcheck ~count:20 "FP classification backed by a working algorithm"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r ~rels:[ ("R", 1); ("S", 2) ] ~consts:[ "1"; "2"; "3" ]
+           ~n_endo:(1 + Workload.int r 4) ~n_exo:(Workload.int r 2)
+       in
+       let q = Query_parse.parse "R(?x), S(?x,?y)" in
+       verdict_of q = Classify.FP && fgmc_agree q db)
+
+(* Consistency: every query classified #P-hard admits an executable
+   FGMC ≤ SVC reduction (we run it). *)
+let prop_hard_queries_reducible =
+  qcheck ~count:10 "#P-hard classification backed by a working reduction"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+           ~consts:[ "1"; "2" ] ~n_endo:(1 + Workload.int r 3) ~n_exo:(Workload.int r 2)
+       in
+       let q = Query_parse.parse "R(?x), S(?x,?y), T(?y)" in
+       verdict_of q = Classify.SharpP_hard
+       &&
+       match Fgmc_to_svc.lemma41_auto ~svc:(Oracle.svc_of q) ~query:q db with
+       | Some poly -> Poly.Z.equal poly (Model_counting.fgmc_polynomial q db)
+       | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "safety on sjf-CQs" `Quick test_safety_sjf;
+    Alcotest.test_case "safety = hierarchy (random sjf)" `Quick test_safety_matches_hierarchy_random;
+    Alcotest.test_case "safety on UCQs" `Quick test_safety_ucq;
+    Alcotest.test_case "Cor 4.3: RPQ classification" `Quick test_classify_rpq;
+    Alcotest.test_case "sjf-CQ classification" `Quick test_classify_sjf_cq;
+    Alcotest.test_case "UCQ classification" `Quick test_classify_ucq;
+    Alcotest.test_case "CQ¬ classification" `Quick test_classify_cqneg;
+    Alcotest.test_case "graph query classification" `Quick test_classify_graph_queries;
+    Alcotest.test_case "decomposable conjunctions" `Quick test_classify_decomposable_and;
+    Alcotest.test_case "pseudo-connected witnesses" `Quick test_pseudo_connected_witnesses;
+    Alcotest.test_case "decomposable witnesses" `Quick test_decomposable_witnesses;
+    prop_fp_queries_computable;
+    prop_hard_queries_reducible;
+  ]

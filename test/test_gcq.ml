@@ -1,0 +1,160 @@
+open Test_util
+
+(* Generalized CQs with nested negation — Examples D.1 and D.2 (Appendix
+   D.2.3), which are sjf-1RA¬ queries not expressible as sjf-CQ¬. *)
+
+(* Example D.1: q1 = ∃x,y D(x) ∧ S(x,y) ∧ A(y) ∧ ¬(B(y) ∧ ¬C(y)) *)
+let q1 = Gcq.parse "D(?x), S(?x,?y), A(?y), !(B(?y) & !C(?y))"
+
+(* Example D.2: q2 = ∃x,y S(x,y) ∧ ¬(A(x) ∧ B(y)) *)
+let q2 = Gcq.parse "S(?x,?y), !(A(?x) & B(?y))"
+
+let test_parse () =
+  Alcotest.(check int) "q1 guards" 3 (List.length (Gcq.guards q1));
+  Alcotest.(check int) "q1 conditions" 1 (List.length (Gcq.conditions q1));
+  Alcotest.(check bool) "q1 sjf guards" true (Gcq.is_guard_self_join_free q1);
+  Alcotest.(check bool) "q1 vocabularies disjoint" true
+    (Gcq.guards_disjoint_from_conditions q1);
+  Alcotest.(check bool) "no variable-free atoms" false
+    (Gcq.has_variable_free_condition_atom q1);
+  (* reparse of the printed form *)
+  let q1' = Gcq.parse (Gcq.to_string q1) in
+  Alcotest.(check string) "print/parse" (Gcq.to_string q1) (Gcq.to_string q1');
+  Alcotest.check_raises "unsafe condition variable"
+    (Invalid_argument "Gcq.make: condition variable not covered by the guards") (fun () ->
+        ignore (Gcq.parse "D(?x), !B(?z)"))
+
+let test_eval_d1 () =
+  (* satisfied: B(y) absent *)
+  Alcotest.(check bool) "no B" true
+    (Gcq.eval q1 (facts [ fact "D" [ "1" ]; fact "S" [ "1"; "2" ]; fact "A" [ "2" ] ]));
+  (* blocked: B(y) present without C(y) *)
+  Alcotest.(check bool) "B without C" false
+    (Gcq.eval q1
+       (facts [ fact "D" [ "1" ]; fact "S" [ "1"; "2" ]; fact "A" [ "2" ]; fact "B" [ "2" ] ]));
+  (* repaired: B(y) and C(y) both present — ¬(B ∧ ¬C) holds again *)
+  Alcotest.(check bool) "B with C" true
+    (Gcq.eval q1
+       (facts
+          [ fact "D" [ "1" ]; fact "S" [ "1"; "2" ]; fact "A" [ "2" ]; fact "B" [ "2" ];
+            fact "C" [ "2" ] ]))
+
+let test_eval_d2 () =
+  Alcotest.(check bool) "plain edge" true (Gcq.eval q2 (facts [ fact "S" [ "1"; "2" ] ]));
+  Alcotest.(check bool) "blocked" false
+    (Gcq.eval q2 (facts [ fact "S" [ "1"; "2" ]; fact "A" [ "1" ]; fact "B" [ "2" ] ]));
+  Alcotest.(check bool) "only A" true
+    (Gcq.eval q2 (facts [ fact "S" [ "1"; "2" ]; fact "A" [ "1" ] ]));
+  Alcotest.(check bool) "another witness" true
+    (Gcq.eval q2
+       (facts [ fact "S" [ "1"; "2" ]; fact "A" [ "1" ]; fact "B" [ "2" ]; fact "S" [ "3"; "4" ] ]))
+
+let test_of_cqneg () =
+  let qn = Cqneg.parse "R(?x), S(?x,?y), !T(?y)" in
+  let g = Gcq.of_cqneg qn in
+  List.iter
+    (fun fs ->
+       Alcotest.(check bool) "agrees with CQ¬" (Cqneg.eval qn fs) (Gcq.eval g fs))
+    [
+      facts [ fact "R" [ "1" ]; fact "S" [ "1"; "2" ] ];
+      facts [ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ];
+      facts [ fact "R" [ "1" ] ];
+    ]
+
+let lineage_correct q db =
+  let phi = Lineage.lineage q db in
+  Database.fold_endo_subsets
+    (fun s acc ->
+       acc && Bform.eval phi s = Query.eval q (Fact.Set.union s (Database.exo db)))
+    db true
+
+let test_lineage () =
+  let db =
+    Database.make
+      ~endo:[ fact "D" [ "1" ]; fact "S" [ "1"; "2" ]; fact "A" [ "2" ]; fact "B" [ "2" ];
+              fact "C" [ "2" ] ]
+      ~exo:[ fact "D" [ "9" ] ]
+  in
+  Alcotest.(check bool) "q1 lineage" true (lineage_correct (Query.Gcq q1) db);
+  let db2 =
+    Database.make
+      ~endo:[ fact "S" [ "1"; "2" ]; fact "A" [ "1" ]; fact "B" [ "2" ]; fact "S" [ "3"; "1" ] ]
+      ~exo:[ fact "B" [ "1" ] ]
+  in
+  Alcotest.(check bool) "q2 lineage" true (lineage_correct (Query.Gcq q2) db2)
+
+let test_lemma_d2_example_d1 () =
+  let db =
+    Database.make
+      ~endo:[ fact "D" [ "1" ]; fact "S" [ "1"; "2" ]; fact "A" [ "2" ]; fact "B" [ "2" ];
+              fact "C" [ "2" ] ]
+      ~exo:[ fact "A" [ "9" ] ]
+  in
+  let q_tilde, poly =
+    Negation_red.lemma_d2 ~svc:(Oracle.svc_of (Query.Gcq q1)) ~q:q1 db
+  in
+  check_zpoly "Example D.1" (Model_counting.fgmc_polynomial_brute q_tilde db) poly
+
+let test_lemma_d2_example_d2 () =
+  let db =
+    Database.make
+      ~endo:[ fact "S" [ "1"; "2" ]; fact "A" [ "1" ]; fact "B" [ "2" ]; fact "S" [ "1"; "3" ] ]
+      ~exo:[ fact "B" [ "9" ] ]
+  in
+  let q_tilde, poly =
+    Negation_red.lemma_d2 ~svc:(Oracle.svc_of (Query.Gcq q2)) ~q:q2 db
+  in
+  check_zpoly "Example D.2" (Model_counting.fgmc_polynomial_brute q_tilde db) poly
+
+let test_lemma_d2_guards () =
+  let db = Database.make ~endo:[ fact "S" [ "1"; "2" ] ] ~exo:[] in
+  let shared = Gcq.parse "S(?x,?y), !(S(?y,?x))" in
+  Alcotest.check_raises "vocabulary overlap"
+    (Invalid_argument "Negation_red.lemma_d2: guard and condition vocabularies overlap")
+    (fun () ->
+       ignore (Negation_red.lemma_d2 ~svc:(Oracle.svc_of (Query.Gcq shared)) ~q:shared db));
+  let selfjoin = Gcq.parse "S(?x,?y), S(?y,?z), !A(?x)" in
+  Alcotest.check_raises "self-join guards"
+    (Invalid_argument "Negation_red.lemma_d2: guards are not self-join-free") (fun () ->
+        ignore
+          (Negation_red.lemma_d2 ~svc:(Oracle.svc_of (Query.Gcq selfjoin)) ~q:selfjoin db))
+
+let prop_lineage_random_d1 =
+  qcheck ~count:40 "Example D.1 lineage on random instances"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r
+           ~rels:[ ("D", 1); ("S", 2); ("A", 1); ("B", 1); ("C", 1) ]
+           ~consts:[ "1"; "2" ] ~n_endo:(2 + Workload.int r 4) ~n_exo:(Workload.int r 2)
+       in
+       lineage_correct (Query.Gcq q1) db)
+
+let prop_lemma_d2_random =
+  qcheck ~count:15 "Lemma D.2 on random instances (Example D.2)"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r ~rels:[ ("S", 2); ("A", 1); ("B", 1) ]
+           ~consts:[ "1"; "2" ] ~n_endo:(2 + Workload.int r 3) ~n_exo:(Workload.int r 2)
+       in
+       let q_tilde, poly =
+         Negation_red.lemma_d2 ~svc:(Oracle.svc_of (Query.Gcq q2)) ~q:q2 db
+       in
+       Poly.Z.equal poly (Model_counting.fgmc_polynomial q_tilde db))
+
+let suite =
+  [
+    Alcotest.test_case "parsing" `Quick test_parse;
+    Alcotest.test_case "Example D.1 evaluation" `Quick test_eval_d1;
+    Alcotest.test_case "Example D.2 evaluation" `Quick test_eval_d2;
+    Alcotest.test_case "CQ¬ embedding" `Quick test_of_cqneg;
+    Alcotest.test_case "lineage" `Quick test_lineage;
+    Alcotest.test_case "Lemma D.2 on Example D.1" `Quick test_lemma_d2_example_d1;
+    Alcotest.test_case "Lemma D.2 on Example D.2" `Quick test_lemma_d2_example_d2;
+    Alcotest.test_case "Lemma D.2 guards" `Quick test_lemma_d2_guards;
+    prop_lineage_random_d1;
+    prop_lemma_d2_random;
+  ]

@@ -1,0 +1,127 @@
+open Test_util
+
+(* The MC ≡ PQE(1/2) and GMC ≡ PQE(1/2;1) arrows, plus Cq.instantiate
+   (Remark 3.1) and DFA minimization. *)
+
+let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
+
+let test_pqe_half_known () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[] in
+  let q = Query_parse.parse "R(?x)" in
+  check_rational "single fact" Rational.half (Pqe.pqe_half q db);
+  Alcotest.check_raises "guard"
+    (Invalid_argument "Pqe.pqe_half: database has exogenous facts (use pqe_half_one)")
+    (fun () ->
+       ignore (Pqe.pqe_half q (Database.make ~endo:[] ~exo:[ fact "R" [ "9" ] ])))
+
+let test_gmc_via_half_one () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "S" [ "1"; "3" ] ]
+      ~exo:[ fact "T" [ "3" ] ]
+  in
+  let pqe = Mc_pqe_half.pqe_half_one_of qrst in
+  check_bigint "one call recovers GMC"
+    (Model_counting.gmc qrst db)
+    (Mc_pqe_half.gmc_via_half_one ~pqe db);
+  Alcotest.(check int) "exactly one call" 1 (Oracle.calls pqe);
+  let gmc = Mc_pqe_half.gmc_of qrst in
+  check_rational "and back"
+    (Pqe.pqe_half_one qrst db)
+    (Mc_pqe_half.half_one_via_gmc ~gmc db)
+
+let test_mc_via_half_guard () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[ fact "T" [ "9" ] ] in
+  Alcotest.check_raises "mc guard"
+    (Invalid_argument "Mc_pqe_half.mc_via_half: database has exogenous facts") (fun () ->
+        ignore (Mc_pqe_half.mc_via_half ~pqe:(Mc_pqe_half.pqe_half_one_of qrst) db))
+
+let prop_half_roundtrip =
+  qcheck ~count:40 "GMC ≡ PQE(1/2;1) round trip" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+           ~consts:[ "1"; "2"; "3" ] ~n_endo:(1 + Workload.int r 5) ~n_exo:(Workload.int r 3)
+       in
+       Bigint.equal
+         (Mc_pqe_half.gmc_via_half_one ~pqe:(Mc_pqe_half.pqe_half_one_of qrst) db)
+         (Model_counting.gmc qrst db))
+
+let test_instantiate () =
+  (* Remark 3.1: bind the "free" variables of a query to an answer tuple *)
+  let q = Cq.parse "Author(?a), Wrote(?a,?p)" in
+  let bound = Cq.instantiate [ ("a", "alice") ] q in
+  Alcotest.(check bool) "constant introduced" true
+    (Term.Sset.mem "alice" (Cq.consts bound));
+  Alcotest.(check bool) "variable gone" false (Term.Sset.mem "a" (Cq.vars bound));
+  let db = facts [ fact "Author" [ "alice" ]; fact "Wrote" [ "alice"; "p1" ] ] in
+  Alcotest.(check bool) "bound query satisfied" true (Cq.eval bound db);
+  let other = Cq.instantiate [ ("a", "bob") ] q in
+  Alcotest.(check bool) "other tuple unsatisfied" false (Cq.eval other db);
+  Alcotest.check_raises "unknown variable"
+    (Invalid_argument "Cq.instantiate: no variable zz in the query") (fun () ->
+        ignore (Cq.instantiate [ ("zz", "x") ] q))
+
+let test_instantiate_svc () =
+  (* the Remark's point: SVC for the non-Boolean query with answer tuple
+     (alice) is SVC of the instantiated Boolean query with constants *)
+  let q = Cq.parse "Wrote(?a,?p), Cites(?p,?q)" in
+  let bound = Query.Cq (Cq.instantiate [ ("a", "alice") ] q) in
+  let db =
+    Database.make
+      ~endo:[ fact "Wrote" [ "alice"; "p1" ]; fact "Cites" [ "p1"; "p2" ];
+              fact "Wrote" [ "bob"; "p3" ]; fact "Cites" [ "p3"; "p2" ] ]
+      ~exo:[]
+  in
+  let values = Svc.svc_all bound db in
+  let v f = List.assoc f values in
+  check_rational "alice's facts contribute" Rational.half (v (fact "Wrote" [ "alice"; "p1" ]));
+  check_rational "bob's facts do not" Rational.zero (v (fact "Wrote" [ "bob"; "p3" ]))
+
+let test_dfa_minimize () =
+  (* (A+B)*A B? has redundant Thompson states; minimization shrinks and
+     preserves the language *)
+  List.iter
+    (fun l ->
+       let d = Dfa.of_regex (Regex.parse l) in
+       let m = Dfa.minimize d in
+       Alcotest.(check bool) (l ^ " minimized no larger") true
+         (Dfa.num_states m <= Dfa.num_states d);
+       Alcotest.(check bool) (l ^ " equivalent") true (Dfa.equivalent d m))
+    [ "A"; "AB+BA"; "(A+B)*A"; "A?B?"; "A(BA)*B" ];
+  (* structurally different but equal languages *)
+  let d1 = Dfa.of_regex (Regex.parse "(A+B)*") in
+  let d2 = Dfa.of_regex (Regex.parse "(A*B*)*") in
+  Alcotest.(check bool) "language equality detected" true (Dfa.equivalent d1 d2);
+  Alcotest.(check bool) "inequality detected" false
+    (Dfa.equivalent d1 (Dfa.of_regex (Regex.parse "A*")))
+
+let prop_minimize_preserves =
+  let arb_regex =
+    let open QCheck2.Gen in
+    (* keep expressions small: subset construction is exponential in the
+       worst case *)
+    int_range 0 6 >>= fix (fun self n ->
+        if n <= 0 then oneofl [ Regex.sym "A"; Regex.sym "B"; Regex.eps ]
+        else
+          oneof
+            [ map2 Regex.seq (self (n / 2)) (self (n / 2));
+              map2 Regex.alt (self (n / 2)) (self (n / 2));
+              map Regex.star (self (n - 1)) ])
+  in
+  qcheck ~count:100 "minimize preserves the language" arb_regex (fun r ->
+      let d = Dfa.of_regex r in
+      Dfa.equivalent d (Dfa.minimize d))
+
+let suite =
+  [
+    Alcotest.test_case "PQE(1/2) values" `Quick test_pqe_half_known;
+    Alcotest.test_case "GMC ≡ PQE(1/2;1)" `Quick test_gmc_via_half_one;
+    Alcotest.test_case "MC guard" `Quick test_mc_via_half_guard;
+    Alcotest.test_case "Remark 3.1: instantiate" `Quick test_instantiate;
+    Alcotest.test_case "Remark 3.1: SVC of an answer tuple" `Quick test_instantiate_svc;
+    Alcotest.test_case "DFA minimization" `Quick test_dfa_minimize;
+    prop_half_roundtrip;
+    prop_minimize_preserves;
+  ]

@@ -1,0 +1,135 @@
+open Test_util
+
+let count_valuations atoms into =
+  let n = ref 0 in
+  Homomorphism.iter_valuations ~into atoms (fun _ -> incr n);
+  !n
+
+let test_single_atom () =
+  let atoms = Cq.atoms (Cq.parse "R(?x,?y)") in
+  let into = facts [ fact "R" [ "1"; "2" ]; fact "R" [ "3"; "4" ]; fact "S" [ "1"; "2" ] ] in
+  Alcotest.(check int) "two matches" 2 (count_valuations atoms into)
+
+let test_join () =
+  let atoms = Cq.atoms (Cq.parse "R(?x,?y), S(?y,?z)") in
+  let into =
+    facts
+      [ fact "R" [ "1"; "2" ]; fact "R" [ "1"; "3" ]; fact "S" [ "2"; "4" ];
+        fact "S" [ "2"; "5" ] ]
+  in
+  (* y must be 2: R(1,2) with S(2,4) and S(2,5) *)
+  Alcotest.(check int) "join count" 2 (count_valuations atoms into)
+
+let test_constant_rigidity () =
+  let atoms = Cq.atoms (Cq.parse "R(?x,b)") in
+  let into = facts [ fact "R" [ "1"; "b" ]; fact "R" [ "1"; "c" ] ] in
+  Alcotest.(check int) "constant filters" 1 (count_valuations atoms into)
+
+let test_repeated_variable () =
+  let atoms = Cq.atoms (Cq.parse "R(?x,?x)") in
+  let into = facts [ fact "R" [ "1"; "1" ]; fact "R" [ "1"; "2" ] ] in
+  Alcotest.(check int) "diagonal only" 1 (count_valuations atoms into)
+
+let test_initial_binding () =
+  let atoms = Cq.atoms (Cq.parse "R(?x,?y)") in
+  let into = facts [ fact "R" [ "1"; "2" ]; fact "R" [ "3"; "4" ] ] in
+  let binding = Term.Smap.singleton "x" "3" in
+  let n = ref 0 in
+  Homomorphism.iter_valuations ~into ~binding atoms (fun s ->
+      incr n;
+      Alcotest.(check string) "x respected" "3" (Term.Smap.find "x" s));
+  Alcotest.(check int) "restricted" 1 !n
+
+let test_image () =
+  let atoms = Cq.atoms (Cq.parse "R(?x,?y), S(?y)") in
+  let subst = Term.Smap.of_seq (List.to_seq [ ("x", "1"); ("y", "2") ]) in
+  let img = Homomorphism.image subst atoms in
+  Alcotest.check fact_set_t "image" (facts [ fact "R" [ "1"; "2" ]; fact "S" [ "2" ] ]) img;
+  Alcotest.check_raises "partial valuation"
+    (Invalid_argument "Homomorphism.image: valuation is not total") (fun () ->
+        ignore (Homomorphism.image Term.Smap.empty atoms))
+
+let test_minimal_images () =
+  (* R(x,y): images in a db where one image strictly contains another is
+     impossible for a single atom, so use a join with collapsing *)
+  let atoms = Cq.atoms (Cq.parse "R(?x,?y), R(?y,?z)") in
+  let into = facts [ fact "R" [ "1"; "1" ]; fact "R" [ "1"; "2" ]; fact "R" [ "2"; "1" ] ] in
+  let minimal = Homomorphism.minimal_images ~into atoms in
+  (* the loop R(1,1) alone is a minimal image; any 2-fact image containing it
+     is dominated *)
+  Alcotest.(check bool) "loop is minimal" true
+    (List.exists (Fact.Set.equal (facts [ fact "R" [ "1"; "1" ] ])) minimal);
+  List.iter
+    (fun img ->
+       Alcotest.(check bool) "no image contains another" false
+         (List.exists
+            (fun img' -> Fact.Set.subset img' img && not (Fact.Set.equal img' img))
+            minimal))
+    minimal
+
+let test_fact_homs () =
+  let src = facts [ fact "R" [ "a"; "x" ] ] in
+  let into = facts [ fact "R" [ "a"; "b" ]; fact "R" [ "c"; "d" ] ] in
+  (* fixing a: x can map to b only (via R(a,b)) *)
+  let fixed = Term.Sset.singleton "a" in
+  (match Homomorphism.find_fact_hom ~fixed src ~into with
+   | Some h ->
+     Alcotest.(check string) "a fixed" "a" (Term.Smap.find "a" h);
+     Alcotest.(check string) "x image" "b" (Term.Smap.find "x" h)
+   | None -> Alcotest.fail "expected hom");
+  (* fixing both blocks it unless the exact fact is present *)
+  let fixed2 = Term.Sset.of_list [ "a"; "x" ] in
+  Alcotest.(check bool) "rigid absent" false
+    (Homomorphism.exists_fact_hom ~fixed:fixed2 src ~into)
+
+let test_fact_hom_merging () =
+  (* two facts sharing a non-fixed constant must map consistently *)
+  let src = facts [ fact "R" [ "u"; "v" ]; fact "S" [ "v"; "w" ] ] in
+  let into = facts [ fact "R" [ "1"; "2" ]; fact "S" [ "3"; "4" ] ] in
+  Alcotest.(check bool) "inconsistent v" false
+    (Homomorphism.exists_fact_hom ~fixed:Term.Sset.empty src ~into);
+  let into2 = facts [ fact "R" [ "1"; "2" ]; fact "S" [ "2"; "4" ] ] in
+  Alcotest.(check bool) "consistent v" true
+    (Homomorphism.exists_fact_hom ~fixed:Term.Sset.empty src ~into:into2)
+
+let test_leak_example () =
+  (* the paper's example (Section 4.1): for q = ∃x [AB+BA](x,a), the fact
+     A(b,a) is a q-leak because of the minimal support {A(b,d), B(d,a)} *)
+  let q = Query_parse.parse "crpq: (AB+BA)(?x,a)" in
+  let support = facts [ fact "A" [ "b"; "d" ]; fact "B" [ "d"; "a" ] ] in
+  Alcotest.(check bool) "A(b,a) is a leak" true
+    (Query.leak_witness q ~canonical:[ support ] (fact "A" [ "b'"; "a" ]));
+  Alcotest.(check bool) "A(b,c) is not a leak" false
+    (Query.leak_witness q ~canonical:[ support ] (fact "A" [ "b'"; "c'" ]))
+
+let prop_valuation_images_satisfy =
+  qcheck ~count:60 "every valuation image satisfies the query"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r
+           ~rels:[ ("R", 2); ("S", 1) ]
+           ~consts:[ "1"; "2"; "3" ] ~n_endo:5 ~n_exo:0
+       in
+       let atoms = Cq.atoms (Cq.parse "R(?x,?y), S(?y)") in
+       let into = Database.all db in
+       let ok = ref true in
+       Homomorphism.iter_valuations ~into atoms (fun s ->
+           if not (Fact.Set.subset (Homomorphism.image s atoms) into) then ok := false);
+       !ok)
+
+let suite =
+  [
+    Alcotest.test_case "single atom" `Quick test_single_atom;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "constant rigidity" `Quick test_constant_rigidity;
+    Alcotest.test_case "repeated variable" `Quick test_repeated_variable;
+    Alcotest.test_case "initial binding" `Quick test_initial_binding;
+    Alcotest.test_case "image" `Quick test_image;
+    Alcotest.test_case "minimal images" `Quick test_minimal_images;
+    Alcotest.test_case "fact homomorphisms" `Quick test_fact_homs;
+    Alcotest.test_case "fact hom consistency" `Quick test_fact_hom_merging;
+    Alcotest.test_case "q-leak example (paper §4.1)" `Quick test_leak_example;
+    prop_valuation_images_satisfy;
+  ]

@@ -1,0 +1,66 @@
+open Test_util
+
+let test_db_parse () =
+  let text = {|
+# a small database
+endo R(a,b)
+endo S(b)      # trailing comment
+exo  T(b,c)
+|} in
+  let db = Db_text.parse text in
+  Alcotest.(check int) "two endo" 2 (Database.size_endo db);
+  Alcotest.(check bool) "exo fact" true (Database.mem_exo (fact "T" [ "b"; "c" ]) db)
+
+let test_db_parse_errors () =
+  Alcotest.check_raises "bad tag"
+    (Invalid_argument "Db_text.parse: line 1: expected 'endo FACT' or 'exo FACT'") (fun () ->
+        ignore (Db_text.parse "both R(a)"));
+  Alcotest.check_raises "missing parens"
+    (Invalid_argument "Db_text.parse_fact: missing '(' in R") (fun () ->
+        ignore (Db_text.parse "endo R"));
+  Alcotest.check_raises "empty argument"
+    (Invalid_argument "Db_text.parse_fact: empty argument in R(a,)") (fun () ->
+        ignore (Db_text.parse_fact "R(a,)"))
+
+let test_db_roundtrip () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "a"; "b" ]; fact "S" [ "x" ] ]
+      ~exo:[ fact "T" [ "c" ]; fact "U" [ "d"; "e"; "f" ] ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Database.equal db (Db_text.parse (Db_text.to_string db)))
+
+let test_query_roundtrip () =
+  List.iter
+    (fun s ->
+       let q = Query_parse.parse s in
+       (* evaluation sanity after parsing *)
+       match Query.fresh_support q with
+       | Some sup -> Alcotest.(check bool) s true (Query.eval q sup)
+       | None -> Alcotest.fail ("no support: " ^ s))
+    [
+      "R(?x,?y), S(?y,b)";
+      "ucq: R(?x) | S(?x,?y)";
+      "rpq: (A B* C)(s, t)";
+      "crpq: (AB+BA)(?x,a), C(?x,?y)";
+      "ucrpq: A(?x,?y) | (BC)(?x,a)";
+      "cqneg: R(?x), S(?x,?y), !T(?y)";
+    ]
+
+let test_load_file () =
+  let path = Filename.temp_file "svc_test" ".db" in
+  let oc = open_out path in
+  output_string oc "endo R(a)\nexo S(b)\n";
+  close_out oc;
+  let db = Db_text.load path in
+  Sys.remove path;
+  Alcotest.(check int) "loaded" 2 (Database.size db)
+
+let suite =
+  [
+    Alcotest.test_case "database parsing" `Quick test_db_parse;
+    Alcotest.test_case "parse errors" `Quick test_db_parse_errors;
+    Alcotest.test_case "database roundtrip" `Quick test_db_roundtrip;
+    Alcotest.test_case "query parsing" `Quick test_query_roundtrip;
+    Alcotest.test_case "file loading" `Quick test_load_file;
+  ]

@@ -1,0 +1,111 @@
+open Test_util
+
+let q = Rational.of_ints
+let mat rows = Array.of_list (List.map Array.of_list rows)
+
+let test_solve_2x2 () =
+  (* x + 2y = 5 ; 3x - y = 1  =>  x = 1, y = 2 *)
+  let m = mat [ [ q 1 1; q 2 1 ]; [ q 3 1; q (-1) 1 ] ] in
+  match Linalg.solve m [| q 5 1; q 1 1 |] with
+  | Some x ->
+    check_rational "x" (q 1 1) x.(0);
+    check_rational "y" (q 2 1) x.(1)
+  | None -> Alcotest.fail "unexpected singular"
+
+let test_solve_singular () =
+  let m = mat [ [ q 1 1; q 2 1 ]; [ q 2 1; q 4 1 ] ] in
+  Alcotest.(check bool) "singular" true (Linalg.solve m [| q 1 1; q 2 1 |] = None)
+
+let test_solve_permuted () =
+  (* first pivot is zero: forces a row swap *)
+  let m = mat [ [ q 0 1; q 1 1 ]; [ q 1 1; q 0 1 ] ] in
+  match Linalg.solve m [| q 7 1; q 9 1 |] with
+  | Some x ->
+    check_rational "x" (q 9 1) x.(0);
+    check_rational "y" (q 7 1) x.(1)
+  | None -> Alcotest.fail "unexpected singular"
+
+let test_determinant () =
+  check_rational "det identity" (q 1 1)
+    (Linalg.determinant (mat [ [ q 1 1; q 0 1 ]; [ q 0 1; q 1 1 ] ]));
+  check_rational "det 2x2" (q (-2) 1)
+    (Linalg.determinant (mat [ [ q 1 1; q 2 1 ]; [ q 3 1; q 4 1 ] ]));
+  check_rational "det singular" Rational.zero
+    (Linalg.determinant (mat [ [ q 1 1; q 2 1 ]; [ q 2 1; q 4 1 ] ]));
+  check_rational "det swap sign" (q 2 1)
+    (Linalg.determinant (mat [ [ q 3 1; q 4 1 ]; [ q 1 1; q 2 1 ] ]))
+
+let test_mat_vec () =
+  let m = mat [ [ q 1 1; q 2 1 ]; [ q 3 1; q 4 1 ] ] in
+  let v = Linalg.mat_vec m [| q 1 1; q 1 1 |] in
+  check_rational "row 0" (q 3 1) v.(0);
+  check_rational "row 1" (q 7 1) v.(1)
+
+let test_vandermonde () =
+  let pts = Array.init 6 (fun i -> q (i + 1) 1) in
+  let coeffs = Array.init 6 (fun i -> q ((i * i) - 4) 3) in
+  let rhs = Linalg.mat_vec (Linalg.vandermonde pts) coeffs in
+  let solved = Linalg.solve_vandermonde pts rhs in
+  Array.iteri (fun i c -> check_rational (Printf.sprintf "c%d" i) coeffs.(i) c) solved
+
+let test_vandermonde_duplicate () =
+  Alcotest.check_raises "duplicate points"
+    (Invalid_argument "Linalg.solve_vandermonde: duplicate points") (fun () ->
+        ignore (Linalg.solve_vandermonde [| q 1 1; q 1 1 |] [| q 0 1; q 0 1 |]))
+
+let test_bacher_matrices () =
+  (* the (i+j)! matrices underpinning the Lemma 4.1/4.3/4.4 systems are
+     invertible (Bacher 2002) *)
+  for n = 0 to 7 do
+    let m = Linalg.shifted_factorial_matrix n in
+    Alcotest.(check bool)
+      (Printf.sprintf "det (i+j)! n=%d non-zero" n)
+      false
+      (Rational.is_zero (Linalg.determinant m))
+  done
+
+let test_reduction_system_invertible () =
+  (* the actual matrices inverted by the engine: (j+m)!(n+i-j)!/(n+i+m+1)! *)
+  List.iter
+    (fun (n, m) ->
+       let mx =
+         Array.init (n + 1) (fun i ->
+             Array.init (n + 1) (fun j ->
+                 Rational.make
+                   (Bigint.mul (Bigint.factorial (j + m)) (Bigint.factorial (n + i - j)))
+                   (Bigint.factorial (n + i + m + 1))))
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "engine system n=%d m=%d invertible" n m)
+         false
+         (Rational.is_zero (Linalg.determinant mx)))
+    [ (0, 0); (1, 0); (3, 0); (3, 2); (5, 1); (6, 3) ]
+
+let prop_solve_roundtrip =
+  qcheck ~count:50 "solve inverts mat_vec"
+    QCheck2.Gen.(
+      pair (int_range 1 5)
+        (pair (list_size (return 25) (int_range (-9) 9))
+           (list_size (return 5) (int_range (-9) 9))))
+    (fun (n, (entries, xs)) ->
+       let entries = Array.of_list entries and xs = Array.of_list xs in
+       let m = Array.init n (fun i -> Array.init n (fun j -> q entries.((5 * i) + j) 1)) in
+       let x = Array.init n (fun i -> q xs.(i) 1) in
+       let rhs = Linalg.mat_vec m x in
+       match Linalg.solve m rhs with
+       | None -> true (* singular random matrix: nothing to check *)
+       | Some x' -> Array.for_all2 Rational.equal x x')
+
+let suite =
+  [
+    Alcotest.test_case "solve 2x2" `Quick test_solve_2x2;
+    Alcotest.test_case "solve singular" `Quick test_solve_singular;
+    Alcotest.test_case "solve with pivoting" `Quick test_solve_permuted;
+    Alcotest.test_case "determinant" `Quick test_determinant;
+    Alcotest.test_case "mat_vec" `Quick test_mat_vec;
+    Alcotest.test_case "vandermonde" `Quick test_vandermonde;
+    Alcotest.test_case "vandermonde duplicates" `Quick test_vandermonde_duplicate;
+    Alcotest.test_case "Bacher matrices invertible" `Quick test_bacher_matrices;
+    Alcotest.test_case "engine systems invertible" `Quick test_reduction_system_invertible;
+    prop_solve_roundtrip;
+  ]

@@ -1,0 +1,157 @@
+open Test_util
+
+(* Precision tests for behaviors not covered elsewhere: guards, printers,
+   stated invariants of the reductions, and edge cases. *)
+
+let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
+
+(* Prop. 3.3's "moreover": the FGMC ⇄ SPPQE reductions only query the
+   oracle on the SAME underlying partitioned database. *)
+let test_same_database_invariant () =
+  let db =
+    Database.make ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ]
+      ~exo:[ fact "T" [ "9" ] ]
+  in
+  let sppqe =
+    Oracle.make (fun (db', p) ->
+        Alcotest.(check bool) "same database" true (Database.equal db db');
+        Pqe.sppqe qrst db' p)
+  in
+  ignore (Fgmc_sppqe.fgmc_via_sppqe ~sppqe db);
+  let fgmc =
+    Oracle.make (fun (db', j) ->
+        Alcotest.(check bool) "same database" true (Database.equal db db');
+        Model_counting.fgmc qrst db' j)
+  in
+  ignore (Fgmc_sppqe.sppqe_via_fgmc ~fgmc db Rational.half)
+
+let test_svc_all_empty () =
+  let db = Database.make ~endo:[] ~exo:[ fact "R" [ "1" ] ] in
+  Alcotest.(check int) "no players" 0 (List.length (Svc.svc_all qrst db))
+
+let test_database_remove_absent () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[] in
+  Alcotest.(check bool) "noop" true
+    (Database.equal db (Database.remove (fact "Z" [ "9" ]) db))
+
+let test_db_text_load_missing () =
+  match Db_text.load "/nonexistent/path/db.txt" with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "expected Sys_error"
+
+let test_query_printers () =
+  Alcotest.(check string) "true" "⊤" (Query.to_string Query.True);
+  Alcotest.(check bool) "cq prefix" true
+    (String.length (Query.to_string qrst) > 4
+     && String.sub (Query.to_string qrst) 0 3 = "CQ[");
+  let both = Query.And (Query_parse.parse "R(?x)", Query_parse.parse "S(?x)") in
+  Alcotest.(check string) "and" "(CQ[R(?x)] ∧ CQ[S(?x)])" (Query.to_string both)
+
+let test_query_parse_errors () =
+  Alcotest.check_raises "rpq with variables"
+    (Invalid_argument "Query_parse: RPQ endpoints must be constants") (fun () ->
+        ignore (Query_parse.parse "rpq: A(?x,t)"));
+  Alcotest.check_raises "rpq multi-atom"
+    (Invalid_argument "Query_parse: an RPQ is a single path atom") (fun () ->
+        ignore (Query_parse.parse "rpq: A(s,t), B(t,u)"))
+
+let test_safety_wide_union_unknown () =
+  (* more than 6 pairwise-overlapping disjuncts: inclusion–exclusion is cut
+     off and the verdict must be the conservative Unknown *)
+  let cqs =
+    List.init 7 (fun i ->
+        Cq.of_atoms
+          [ Atom.make "R" [ Term.var "x"; Term.var "y" ];
+            Atom.make (Printf.sprintf "S%d" i) [ Term.var "y" ] ])
+  in
+  Alcotest.(check string) "unknown" "unknown"
+    (Safety.verdict_to_string (Safety.ucq (Ucq.of_cqs cqs)))
+
+let test_dfa_minimize_shrinks () =
+  (* Thompson NFAs produce many redundant subset states *)
+  let d = Dfa.of_regex (Regex.parse "(A+B)(A+B)") in
+  let m = Dfa.minimize d in
+  Alcotest.(check bool) "strictly smaller" true (Dfa.num_states m < Dfa.num_states d);
+  (* minimal DFA for two-letter words over {A,B}: 3 live states *)
+  Alcotest.(check int) "canonical size" 3 (Dfa.num_states m)
+
+let test_words_limit () =
+  let ws = Words.words_of_length ~limit:3 (Regex.parse "(A+B)(A+B)(A+B)") 3 in
+  Alcotest.(check int) "limit respected" 3 (List.length ws)
+
+let test_prob_db_accessors () =
+  let f1 = fact "R" [ "1" ] and f2 = fact "S" [ "2" ] in
+  let pdb = Prob_db.make [ (f1, Rational.of_ints 1 4); (f2, Rational.one) ] in
+  Alcotest.(check int) "facts" 2 (Fact.Set.cardinal (Prob_db.facts pdb));
+  Alcotest.(check int) "image" 2 (List.length (Prob_db.image pdb));
+  check_rational "prob lookup" (Rational.of_ints 1 4) (Prob_db.prob pdb f1);
+  (match Prob_db.prob pdb (fact "Z" [ "9" ]) with
+   | exception Not_found -> ()
+   | _ -> Alcotest.fail "expected Not_found")
+
+let test_sppqe_p1_zero_coefficient () =
+  (* p = 1 with the full database not a support: probability 0 *)
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[] in
+  check_rational "p=1 unsat" Rational.zero (Pqe.sppqe qrst db Rational.one)
+
+let test_const_svc_induced () =
+  let fs = facts [ fact "R" [ "a"; "b" ]; fact "R" [ "b"; "c" ] ] in
+  let inst = Const_svc.make_instance ~facts:fs ~endo_consts:(Term.Sset.singleton "a") in
+  Alcotest.(check bool) "exo consts" true
+    (Term.Sset.equal (Const_svc.exo_consts inst) (Term.Sset.of_list [ "b"; "c" ]));
+  let induced = Const_svc.induced inst Term.Sset.empty in
+  Alcotest.(check int) "only the b-c fact" 1 (Fact.Set.cardinal induced);
+  let full = Const_svc.induced inst (Term.Sset.singleton "a") in
+  Alcotest.(check int) "all facts" 2 (Fact.Set.cardinal full)
+
+let test_shatter_rel_names () =
+  let a = { Shatter.base = "R"; pattern = [ Some "a"; None ]; args = [ Term.var "y" ] } in
+  Alcotest.(check string) "specialized name" "R@a,*" (Shatter.satom_rel a)
+
+let test_oracle_composition () =
+  (* oracles compose: SVC via FGMC via SPPQE via FGMC... inner layers all
+     counted independently *)
+  let inner = Oracle.fgmc_of qrst in
+  let middle =
+    Oracle.make (fun (db, p) -> Fgmc_sppqe.sppqe_via_fgmc ~fgmc:inner db p)
+  in
+  let outer =
+    Oracle.make (fun (db, j) ->
+        Poly.Z.coeff (Fgmc_sppqe.fgmc_via_sppqe ~sppqe:middle db) j)
+  in
+  let db = Database.make ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ] ~exo:[] in
+  let v = Svc_to_fgmc.svc ~fgmc:outer db (fact "R" [ "1" ]) in
+  check_rational "three layers deep" (Svc.svc_brute qrst db (fact "R" [ "1" ])) v;
+  Alcotest.(check bool) "inner calls accumulated" true (Oracle.calls inner > Oracle.calls outer)
+
+let test_bform_size_pp () =
+  let phi =
+    Bform.conj [ Bform.fv (fact "R" [ "1" ]); Bform.neg (Bform.fv (fact "S" [ "2" ])) ]
+  in
+  Alcotest.(check int) "size" 4 (Bform.size phi);
+  Alcotest.(check string) "pp" "(R(1) ∧ ¬S(2))" (Format.asprintf "%a" Bform.pp phi)
+
+let test_regex_eps_empty_tokens () =
+  Alcotest.(check bool) "underscore is ε" true (Regex.nullable (Regex.parse "_"));
+  Alcotest.(check bool) "tilde is ∅" true (Regex.is_empty_lang (Regex.parse "~"));
+  Alcotest.(check bool) "A~ collapses" true (Regex.is_empty_lang (Regex.parse "A~"))
+
+let suite =
+  [
+    Alcotest.test_case "Claim A.2 preserves the database" `Quick test_same_database_invariant;
+    Alcotest.test_case "svc_all on empty player set" `Quick test_svc_all_empty;
+    Alcotest.test_case "remove absent fact" `Quick test_database_remove_absent;
+    Alcotest.test_case "load missing file" `Quick test_db_text_load_missing;
+    Alcotest.test_case "query printers" `Quick test_query_printers;
+    Alcotest.test_case "query parse errors" `Quick test_query_parse_errors;
+    Alcotest.test_case "safety cutoff is conservative" `Quick test_safety_wide_union_unknown;
+    Alcotest.test_case "DFA minimization shrinks" `Quick test_dfa_minimize_shrinks;
+    Alcotest.test_case "word enumeration limit" `Quick test_words_limit;
+    Alcotest.test_case "prob_db accessors" `Quick test_prob_db_accessors;
+    Alcotest.test_case "SPPQE at p=1, unsatisfied" `Quick test_sppqe_p1_zero_coefficient;
+    Alcotest.test_case "induced databases" `Quick test_const_svc_induced;
+    Alcotest.test_case "shattered relation names" `Quick test_shatter_rel_names;
+    Alcotest.test_case "oracle composition" `Quick test_oracle_composition;
+    Alcotest.test_case "bform size and printing" `Quick test_bform_size_pp;
+    Alcotest.test_case "ε and ∅ tokens" `Quick test_regex_eps_empty_tokens;
+  ]

@@ -1,0 +1,97 @@
+open Test_util
+
+let b = Bigint.of_int
+let zp coeffs = Poly.Z.of_coeffs (List.map b coeffs)
+
+let test_construction () =
+  check_zpoly "of_coeffs trims" (zp [ 1; 2 ]) (zp [ 1; 2; 0; 0 ]);
+  Alcotest.(check int) "degree" 1 (Poly.Z.degree (zp [ 1; 2 ]));
+  Alcotest.(check int) "degree zero" (-1) (Poly.Z.degree Poly.Z.zero);
+  check_zpoly "monomial" (zp [ 0; 0; 5 ]) (Poly.Z.monomial (b 5) 2);
+  check_zpoly "x" (zp [ 0; 1 ]) Poly.Z.x;
+  Alcotest.check_raises "negative degree" (Invalid_argument "Poly.monomial: negative degree")
+    (fun () -> ignore (Poly.Z.monomial Bigint.one (-1)))
+
+let test_coeff () =
+  let p = zp [ 3; 0; 7 ] in
+  check_bigint "coeff 0" (b 3) (Poly.Z.coeff p 0);
+  check_bigint "coeff 1" Bigint.zero (Poly.Z.coeff p 1);
+  check_bigint "coeff 2" (b 7) (Poly.Z.coeff p 2);
+  check_bigint "coeff beyond" Bigint.zero (Poly.Z.coeff p 99);
+  check_bigint "coeff negative" Bigint.zero (Poly.Z.coeff p (-1))
+
+let test_arithmetic () =
+  let p = zp [ 1; 2; 3 ] and q = zp [ 5; -2 ] in
+  check_zpoly "add" (zp [ 6; 0; 3 ]) (Poly.Z.add p q);
+  check_zpoly "sub" (zp [ -4; 4; 3 ]) (Poly.Z.sub p q);
+  check_zpoly "cancellation" Poly.Z.zero (Poly.Z.sub p p);
+  check_zpoly "mul" (zp [ 5; 8; 11; -6 ]) (Poly.Z.mul p q);
+  check_zpoly "mul by zero" Poly.Z.zero (Poly.Z.mul p Poly.Z.zero);
+  check_zpoly "scale" (zp [ 2; 4; 6 ]) (Poly.Z.scale (b 2) p);
+  check_zpoly "shift" (zp [ 0; 0; 1; 2; 3 ]) (Poly.Z.shift 2 p);
+  check_zpoly "neg" (zp [ -1; -2; -3 ]) (Poly.Z.neg p)
+
+let test_eval () =
+  let p = zp [ 1; 2; 3 ] in
+  check_bigint "p(0)" (b 1) (Poly.Z.eval p Bigint.zero);
+  check_bigint "p(1)" (b 6) (Poly.Z.eval p Bigint.one);
+  check_bigint "p(2)" (b 17) (Poly.Z.eval p (b 2));
+  check_bigint "total" (b 6) (Poly.Z.total p);
+  check_rational "eval rational" (Rational.of_ints 11 4)
+    (Poly.Z.eval_rational p Rational.half)
+
+let test_binomial_identity () =
+  (* (1+z)^n has binomial coefficients *)
+  let n = 12 in
+  let one_plus_z = zp [ 1; 1 ] in
+  let p = List.fold_left (fun acc _ -> Poly.Z.mul acc one_plus_z) Poly.Z.one (List.init n Fun.id) in
+  for k = 0 to n do
+    check_bigint (Printf.sprintf "C(%d,%d)" n k) (Bigint.binomial n k) (Poly.Z.coeff p k)
+  done;
+  check_bigint "total = 2^n" (Bigint.pow (b 2) n) (Poly.Z.total p)
+
+let test_qpoly () =
+  let p = Poly.Q.of_coeffs [ Rational.half; Rational.of_int 2 ] in
+  Alcotest.(check bool) "eval" true
+    (Rational.equal (Poly.Q.eval p Rational.one) (Rational.of_ints 5 2))
+
+let arb_poly =
+  QCheck2.Gen.(map (fun l -> zp l) (list_size (int_range 0 8) (int_range (-20) 20)))
+
+let prop_add_comm =
+  qcheck "add commutes" (QCheck2.Gen.pair arb_poly arb_poly) (fun (p, q) ->
+      Poly.Z.equal (Poly.Z.add p q) (Poly.Z.add q p))
+
+let prop_mul_comm =
+  qcheck "mul commutes" (QCheck2.Gen.pair arb_poly arb_poly) (fun (p, q) ->
+      Poly.Z.equal (Poly.Z.mul p q) (Poly.Z.mul q p))
+
+let prop_mul_degree =
+  qcheck "degree of product" (QCheck2.Gen.pair arb_poly arb_poly) (fun (p, q) ->
+      if Poly.Z.is_zero p || Poly.Z.is_zero q then Poly.Z.is_zero (Poly.Z.mul p q)
+      else Poly.Z.degree (Poly.Z.mul p q) = Poly.Z.degree p + Poly.Z.degree q)
+
+let prop_eval_hom =
+  qcheck "eval is a ring hom" (QCheck2.Gen.triple arb_poly arb_poly (QCheck2.Gen.int_range (-5) 5))
+    (fun (p, q, v) ->
+       let v = b v in
+       Bigint.equal
+         (Poly.Z.eval (Poly.Z.mul p q) v)
+         (Bigint.mul (Poly.Z.eval p v) (Poly.Z.eval q v))
+       && Bigint.equal
+         (Poly.Z.eval (Poly.Z.add p q) v)
+         (Bigint.add (Poly.Z.eval p v) (Poly.Z.eval q v)))
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "coefficients" `Quick test_coeff;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "binomial identity" `Quick test_binomial_identity;
+    Alcotest.test_case "rational polynomials" `Quick test_qpoly;
+    prop_add_comm;
+    prop_mul_comm;
+    prop_mul_degree;
+    prop_eval_hom;
+  ]

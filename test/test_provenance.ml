@@ -1,0 +1,133 @@
+open Test_util
+
+(* Provenance semirings and annotated evaluation. *)
+
+let q = Cq.parse "R(?x), S(?x,?y)"
+
+let db_facts =
+  facts
+    [ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "S" [ "1"; "3" ];
+      fact "R" [ "4" ]; fact "S" [ "4"; "2" ] ]
+
+let test_bool_specialization () =
+  let sat = Annotate.cq (module Semiring.Bool) ~annot:(fun _ -> true) q db_facts in
+  Alcotest.(check bool) "satisfied" true sat;
+  Alcotest.(check bool) "eval agrees" (Cq.eval q db_facts) sat;
+  Alcotest.(check bool) "empty db" false
+    (Annotate.cq (module Semiring.Bool) ~annot:(fun _ -> true) q Fact.Set.empty)
+
+let test_hom_count () =
+  (* valuations: (1,2), (1,3), (4,2) *)
+  check_bigint "3 homomorphisms" (Bigint.of_int 3) (Annotate.hom_count q db_facts);
+  check_bigint "none" Bigint.zero (Annotate.hom_count q Fact.Set.empty)
+
+let test_min_cost () =
+  let cost f =
+    match Fact.to_string f with
+    | "R(1)" -> 5
+    | "R(4)" -> 1
+    | "S(4,2)" -> 1
+    | _ -> 10
+  in
+  Alcotest.(check (option int)) "cheapest derivation" (Some 2)
+    (Annotate.min_cost ~cost q db_facts);
+  Alcotest.(check (option int)) "unsatisfied" None
+    (Annotate.min_cost ~cost q Fact.Set.empty)
+
+let test_provenance_polynomial () =
+  let p = Annotate.provenance_polynomial q db_facts in
+  let monos = Semiring.Nx.monomials p in
+  Alcotest.(check int) "three monomials" 3 (List.length monos);
+  List.iter
+    (fun (c, factors) ->
+       check_bigint "coefficient 1" Bigint.one c;
+       Alcotest.(check int) "two facts per derivation" 2 (List.length factors);
+       List.iter (fun (_, e) -> Alcotest.(check int) "exponent 1" 1 e) factors)
+    monos
+
+let test_nx_semiring_laws () =
+  let x = Semiring.Nx.var (fact "R" [ "1" ]) and y = Semiring.Nx.var (fact "S" [ "1"; "2" ]) in
+  let open Semiring.Nx in
+  Alcotest.(check bool) "commutativity +" true (equal (plus x y) (plus y x));
+  Alcotest.(check bool) "commutativity ×" true (equal (times x y) (times y x));
+  Alcotest.(check bool) "distributivity" true
+    (equal (times x (plus y one)) (plus (times x y) x));
+  Alcotest.(check bool) "absorbing zero" true (equal (times x zero) zero);
+  Alcotest.(check bool) "x + x = 2x" true
+    (equal (plus x x) (times (const Bigint.two) x));
+  (* (x+y)^2 = x^2 + 2xy + y^2 *)
+  let sq = times (plus x y) (plus x y) in
+  let expected =
+    plus (times x x) (plus (times (const Bigint.two) (times x y)) (times y y))
+  in
+  Alcotest.(check bool) "binomial square" true (equal sq expected)
+
+let test_specialize_universality () =
+  (* specializing ℕ[X] at the counting semiring with all-ones valuation
+     must equal the direct hom count *)
+  let p = Annotate.provenance_polynomial q db_facts in
+  check_bigint "universality (counting)"
+    (Annotate.hom_count q db_facts)
+    (Semiring.Nx.specialize (module Semiring.Counting) (fun _ -> Bigint.one) p);
+  (* and at Bool with presence valuation for a sub-database *)
+  let sub = facts [ fact "R" [ "4" ]; fact "S" [ "4"; "2" ] ] in
+  Alcotest.(check bool) "universality (bool)" (Cq.eval q sub)
+    (Semiring.Nx.specialize (module Semiring.Bool) (fun f -> Fact.Set.mem f sub) p)
+
+let test_lineage_equivalence () =
+  (* the Boolean image of provenance is logically equivalent to the
+     support-based lineage: same counting polynomial *)
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "S" [ "1"; "3" ] ]
+      ~exo:[ fact "R" [ "4" ]; fact "S" [ "4"; "2" ] ]
+  in
+  let via_prov = Annotate.lineage_of_provenance q db in
+  let via_supports = Lineage.lineage (Query.Cq q) db in
+  let u = Database.endo_list db in
+  check_zpoly "same counts"
+    (Compile.size_polynomial ~universe:u via_supports)
+    (Compile.size_polynomial ~universe:u via_prov)
+
+let prop_lineage_equivalence_random =
+  qcheck ~count:40 "provenance lineage ≡ support lineage"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r ~rels:[ ("R", 1); ("S", 2) ] ~consts:[ "1"; "2"; "3" ]
+           ~n_endo:(1 + Workload.int r 5) ~n_exo:(Workload.int r 3)
+       in
+       let u = Database.endo_list db in
+       Poly.Z.equal
+         (Compile.size_polynomial ~universe:u (Annotate.lineage_of_provenance q db))
+         (Compile.size_polynomial ~universe:u (Lineage.lineage (Query.Cq q) db)))
+
+let test_tropical_laws () =
+  let open Semiring.Tropical in
+  Alcotest.(check bool) "min identity" true (equal (plus zero (of_int 3)) (of_int 3));
+  Alcotest.(check bool) "plus identity" true (equal (times one (of_int 3)) (of_int 3));
+  Alcotest.(check bool) "absorption" true (equal (times zero (of_int 3)) zero);
+  Alcotest.(check (option int)) "finite" (Some 7) (finite (of_int 7));
+  Alcotest.(check (option int)) "infinite" None (finite zero)
+
+let test_ucq_annotation () =
+  let u = Ucq.parse "R(?x) | S(?x,?y)" in
+  (* hom counts add across disjuncts: 2 R-facts + 3 S-facts *)
+  check_bigint "union counts"
+    (Bigint.of_int 5)
+    (Annotate.ucq (module Semiring.Counting) ~annot:(fun _ -> Bigint.one) u db_facts)
+
+let suite =
+  [
+    Alcotest.test_case "boolean specialization" `Quick test_bool_specialization;
+    Alcotest.test_case "homomorphism counting" `Quick test_hom_count;
+    Alcotest.test_case "tropical min-cost" `Quick test_min_cost;
+    Alcotest.test_case "provenance polynomial" `Quick test_provenance_polynomial;
+    Alcotest.test_case "ℕ[X] semiring laws" `Quick test_nx_semiring_laws;
+    Alcotest.test_case "specialization universality" `Quick test_specialize_universality;
+    Alcotest.test_case "lineage equivalence" `Quick test_lineage_equivalence;
+    Alcotest.test_case "tropical laws" `Quick test_tropical_laws;
+    Alcotest.test_case "UCQ annotation" `Quick test_ucq_annotation;
+    prop_lineage_equivalence_random;
+  ]

@@ -1,0 +1,99 @@
+open Test_util
+
+let q = Rational.of_ints
+let b = Bigint.of_int
+
+let test_normalization () =
+  check_rational "2/4 = 1/2" Rational.half (q 2 4);
+  check_rational "-2/-4 = 1/2" Rational.half (q (-2) (-4));
+  check_rational "2/-4 = -1/2" (Rational.neg Rational.half) (q 2 (-4));
+  check_bigint "den positive" (b 2) (Rational.den (q 3 (-2)) |> Bigint.neg |> Bigint.neg);
+  Alcotest.(check bool) "den of 3/-2 positive" true (Bigint.sign (Rational.den (q 3 (-2))) > 0);
+  check_rational "0/5 = 0" Rational.zero (q 0 5);
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () -> ignore (q 1 0))
+
+let test_arithmetic () =
+  check_rational "1/2 + 1/3" (q 5 6) (Rational.add Rational.half (q 1 3));
+  check_rational "1/2 - 1/3" (q 1 6) (Rational.sub Rational.half (q 1 3));
+  check_rational "2/3 * 3/4" Rational.half (Rational.mul (q 2 3) (q 3 4));
+  check_rational "(1/2) / (1/3)" (q 3 2) (Rational.div Rational.half (q 1 3));
+  check_rational "inv(-2/3)" (q (-3) 2) (Rational.inv (q (-2) 3));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Rational.inv Rational.zero))
+
+let test_pow () =
+  check_rational "(2/3)^3" (q 8 27) (Rational.pow (q 2 3) 3);
+  check_rational "(2/3)^-2" (q 9 4) (Rational.pow (q 2 3) (-2));
+  check_rational "x^0" Rational.one (Rational.pow (q 7 5) 0)
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Rational.lt (q 1 3) Rational.half);
+  Alcotest.(check bool) "-1/2 < 1/3" true (Rational.lt (q (-1) 2) (q 1 3));
+  Alcotest.(check int) "equal" 0 (Rational.compare (q 3 9) (q 1 3));
+  check_rational "min" (q 1 3) (Rational.min (q 1 3) Rational.half);
+  check_rational "max" Rational.half (Rational.max (q 1 3) Rational.half)
+
+let test_integer () =
+  Alcotest.(check bool) "4/2 is integer" true (Rational.is_integer (q 4 2));
+  Alcotest.(check bool) "1/2 not integer" false (Rational.is_integer Rational.half);
+  check_bigint "to_bigint" (b 2) (Rational.to_bigint (q 4 2));
+  Alcotest.check_raises "to_bigint non-integer"
+    (Invalid_argument "Rational.to_bigint: not an integer") (fun () ->
+        ignore (Rational.to_bigint Rational.half))
+
+let test_strings () =
+  Alcotest.(check string) "to_string frac" "-1/2" (Rational.to_string (q 1 (-2)));
+  Alcotest.(check string) "to_string int" "3" (Rational.to_string (q 6 2));
+  check_rational "of_string a/b" (q 22 7) (Rational.of_string "22/7");
+  check_rational "of_string int" (q 5 1) (Rational.of_string "5");
+  check_rational "of_string decimal" (q 1 4) (Rational.of_string "0.25");
+  check_rational "of_string negative decimal" (q (-5) 4) (Rational.of_string "-1.25")
+
+let test_sum () =
+  (* harmonic-like exact sum: 1/1 + 1/2 + 1/3 + 1/4 = 25/12 *)
+  check_rational "sum" (q 25 12) (Rational.sum [ q 1 1; q 1 2; q 1 3; q 1 4 ]);
+  check_rational "empty sum" Rational.zero (Rational.sum [])
+
+let arb = QCheck2.Gen.(pair (int_range (-500) 500) (int_range 1 500))
+
+let prop_add_comm =
+  qcheck "addition commutes" (QCheck2.Gen.pair arb arb) (fun ((a, b), (c, d)) ->
+      Rational.equal (Rational.add (q a b) (q c d)) (Rational.add (q c d) (q a b)))
+
+let prop_mul_distributes =
+  qcheck "multiplication distributes" (QCheck2.Gen.triple arb arb arb)
+    (fun ((a, b), (c, d), (e, f)) ->
+       let x = q a b and y = q c d and z = q e f in
+       Rational.equal
+         (Rational.mul x (Rational.add y z))
+         (Rational.add (Rational.mul x y) (Rational.mul x z)))
+
+let prop_sub_add_inverse =
+  qcheck "x - y + y = x" (QCheck2.Gen.pair arb arb) (fun ((a, b), (c, d)) ->
+      let x = q a b and y = q c d in
+      Rational.equal (Rational.add (Rational.sub x y) y) x)
+
+let prop_inv_involution =
+  qcheck "inv (inv x) = x for x ≠ 0" arb (fun (a, b) ->
+      let x = q a b in
+      Rational.is_zero x || Rational.equal (Rational.inv (Rational.inv x)) x)
+
+let prop_float_close =
+  qcheck "to_float approximates" arb (fun (a, b) ->
+      let f = Rational.to_float (q a b) in
+      Float.abs (f -. (float_of_int a /. float_of_int b)) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "integrality" `Quick test_integer;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "sum" `Quick test_sum;
+    prop_add_comm;
+    prop_mul_distributes;
+    prop_sub_add_inverse;
+    prop_inv_involution;
+    prop_float_close;
+  ]

@@ -1,0 +1,130 @@
+open Test_util
+
+(* Proposition 3.3: the "easy direction" arrows of Figure 1a. *)
+
+let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
+
+let random_db seed =
+  let r = Workload.rng seed in
+  Workload.random_database r
+    ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+    ~consts:[ "1"; "2"; "3" ]
+    ~n_endo:(1 + Workload.int r 5)
+    ~n_exo:(Workload.int r 3)
+
+let test_svc_via_fgmc_calls () =
+  (* Claim A.1 makes exactly 2n calls for a database with n endogenous facts *)
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "R" [ "3" ] ]
+      ~exo:[]
+  in
+  let fgmc = Oracle.fgmc_brute_of qrst in
+  let v = Svc_to_fgmc.svc ~fgmc db (fact "R" [ "1" ]) in
+  check_rational "value" (Svc.svc_brute qrst db (fact "R" [ "1" ])) v;
+  Alcotest.(check int) "2n oracle calls" 8 (Oracle.calls fgmc)
+
+let test_fgmc_via_sppqe_calls () =
+  let db = random_db 42 in
+  let n = Database.size_endo db in
+  let sppqe = Oracle.sppqe_of qrst in
+  let poly = Fgmc_sppqe.fgmc_via_sppqe ~sppqe db in
+  check_zpoly "recovered" (Model_counting.fgmc_polynomial_brute qrst db) poly;
+  Alcotest.(check int) "n+1 oracle calls" (n + 1) (Oracle.calls sppqe)
+
+let test_sppqe_via_fgmc () =
+  let db = random_db 7 in
+  let fgmc = Oracle.fgmc_brute_of qrst in
+  let p = Rational.of_ints 3 7 in
+  check_rational "probability" (Pqe.sppqe qrst db p)
+    (Fgmc_sppqe.sppqe_via_fgmc ~fgmc db p);
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Fgmc_sppqe.sppqe_via_fgmc: probability must lie in (0, 1]")
+    (fun () -> ignore (Fgmc_sppqe.sppqe_via_fgmc ~fgmc db (Rational.of_int 2)))
+
+let test_fmc_spqe_guards () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[ fact "T" [ "9" ] ] in
+  Alcotest.check_raises "fmc_via_spqe guard"
+    (Invalid_argument "Fgmc_sppqe.fmc_via_spqe: database has exogenous facts") (fun () ->
+        ignore (Fgmc_sppqe.fmc_via_spqe ~spqe:(Oracle.sppqe_of qrst) db));
+  Alcotest.check_raises "spqe_via_fmc guard"
+    (Invalid_argument "Fgmc_sppqe.spqe_via_fmc: database has exogenous facts") (fun () ->
+        ignore (Fgmc_sppqe.spqe_via_fmc ~fmc:(Oracle.fgmc_of qrst) db Rational.half))
+
+let test_fmc_spqe_roundtrip () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ] ~exo:[] in
+  check_zpoly "fmc via spqe"
+    (Model_counting.fgmc_polynomial_brute qrst db)
+    (Fgmc_sppqe.fmc_via_spqe ~spqe:(Oracle.sppqe_of qrst) db);
+  check_rational "spqe via fmc"
+    (Pqe.spqe qrst db Rational.half)
+    (Fgmc_sppqe.spqe_via_fmc ~fmc:(Oracle.fgmc_of qrst) db Rational.half)
+
+let test_oracle_bookkeeping () =
+  let o = Oracle.make (fun x -> x * 2) in
+  Alcotest.(check int) "initial" 0 (Oracle.calls o);
+  Alcotest.(check int) "call" 10 (Oracle.call o 5);
+  Alcotest.(check int) "counted" 1 (Oracle.calls o);
+  Oracle.reset o;
+  Alcotest.(check int) "reset" 0 (Oracle.calls o)
+
+let test_endo_only_wrapper () =
+  let o = Oracle.svc_endo_only (Oracle.svc_brute_of qrst) in
+  let db_exo = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[ fact "T" [ "9" ] ] in
+  Alcotest.check_raises "exogenous rejected"
+    (Invalid_argument "Oracle.svc_endo_only: reduction produced exogenous facts") (fun () ->
+        ignore (Oracle.call o (db_exo, fact "R" [ "1" ])));
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[] in
+  ignore (Oracle.call o (db, fact "R" [ "1" ]))
+
+let prop_svc_via_fgmc =
+  qcheck ~count:40 "Claim A.1 on random instances" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let db = random_db seed in
+       match Database.endo_list db with
+       | [] -> true
+       | mu :: _ ->
+         Rational.equal
+           (Svc_to_fgmc.svc ~fgmc:(Oracle.fgmc_of qrst) db mu)
+           (Svc.svc_brute qrst db mu))
+
+let prop_fgmc_via_sppqe =
+  qcheck ~count:30 "Claim A.2 Vandermonde inversion" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let db = random_db seed in
+       Poly.Z.equal
+         (Fgmc_sppqe.fgmc_via_sppqe ~sppqe:(Oracle.sppqe_of qrst) db)
+         (Model_counting.fgmc_polynomial qrst db))
+
+let prop_roundtrip_composition =
+  qcheck ~count:20 "SVC → FGMC → SPPQE composition" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       (* compute SVC where the FGMC oracle is itself implemented through
+          SPPQE: two reduction layers composed *)
+       let db = random_db seed in
+       match Database.endo_list db with
+       | [] -> true
+       | mu :: _ ->
+         let fgmc_via_probs =
+           Oracle.make (fun (db, j) ->
+               Poly.Z.coeff
+                 (Fgmc_sppqe.fgmc_via_sppqe ~sppqe:(Oracle.sppqe_of qrst) db)
+                 j)
+         in
+         Rational.equal
+           (Svc_to_fgmc.svc ~fgmc:fgmc_via_probs db mu)
+           (Svc.svc_brute qrst db mu))
+
+let suite =
+  [
+    Alcotest.test_case "Claim A.1 call count" `Quick test_svc_via_fgmc_calls;
+    Alcotest.test_case "Claim A.2 call count" `Quick test_fgmc_via_sppqe_calls;
+    Alcotest.test_case "SPPQE via FGMC" `Quick test_sppqe_via_fgmc;
+    Alcotest.test_case "FMC/SPQE guards" `Quick test_fmc_spqe_guards;
+    Alcotest.test_case "Claim A.3 roundtrip" `Quick test_fmc_spqe_roundtrip;
+    Alcotest.test_case "oracle bookkeeping" `Quick test_oracle_bookkeeping;
+    Alcotest.test_case "endo-only wrapper" `Quick test_endo_only_wrapper;
+    prop_svc_via_fgmc;
+    prop_fgmc_via_sppqe;
+    prop_roundtrip_composition;
+  ]

@@ -1,0 +1,99 @@
+open Test_util
+
+(* Example E.1 of the paper: q = R(x,y) ∧ S(a,x) ∧ S(x,a) ∧ T(x,z) is
+   variable-connected, but its shattering contains the disconnected
+   disjunct R_{a,*}(y) ∧ S_{a,a}() ∧ T_{a,*}(z)  (where x ↦ a). *)
+let e1 = Cq.parse "R(?x,?y), S(a,?x), S(?x,a), T(?x,?z)"
+
+let test_example_e1 () =
+  Alcotest.(check bool) "E.1 variable-connected" true (Cq.is_variable_connected e1);
+  let disjuncts = Shatter.shatter e1 ~c:(Term.Sset.singleton "a") in
+  (* x,y,z each choose {free, a}: 8 disjuncts *)
+  Alcotest.(check int) "2^3 disjuncts" 8 (List.length disjuncts);
+  let x_to_a =
+    List.filter
+      (fun d ->
+         Term.Smap.find_opt "x" d.Shatter.assignment = Some "a"
+         && Term.Smap.cardinal d.Shatter.assignment = 1)
+      disjuncts
+  in
+  match x_to_a with
+  | [ d ] ->
+    Alcotest.(check bool) "x↦a disjunct disconnected" false
+      (Shatter.is_variable_connected d);
+    (* it mentions the specialized relations of the paper *)
+    let rels = List.map Shatter.satom_rel d.Shatter.atoms in
+    Alcotest.(check bool) "R@a,*" true (List.mem "R@a,*" rels);
+    Alcotest.(check bool) "S@a,a" true (List.mem "S@a,a" rels);
+    Alcotest.(check bool) "T@a,*" true (List.mem "T@a,*" rels)
+  | _ -> Alcotest.fail "expected exactly one x↦a disjunct"
+
+let test_identity_disjunct_connected () =
+  let disjuncts = Shatter.shatter e1 ~c:(Term.Sset.singleton "a") in
+  let empty_assignment =
+    List.filter (fun d -> Term.Smap.is_empty d.Shatter.assignment) disjuncts
+  in
+  match empty_assignment with
+  | [ d ] ->
+    Alcotest.(check bool) "all-free disjunct connected" true
+      (Shatter.is_variable_connected d)
+  | _ -> Alcotest.fail "expected one empty-assignment disjunct"
+
+let test_semantic_equivalence_concrete () =
+  let c = Term.Sset.singleton "a" in
+  let disjuncts = Shatter.shatter e1 ~c in
+  let check db_facts =
+    let original = Cq.eval e1 db_facts in
+    let shattered = Shatter.eval disjuncts (Shatter.shatter_database db_facts ~c) in
+    Alcotest.(check bool) "agree" original shattered
+  in
+  check (facts [ fact "R" [ "1"; "2" ]; fact "S" [ "a"; "1" ]; fact "S" [ "1"; "a" ];
+                 fact "T" [ "1"; "3" ] ]);
+  (* satisfied via x = a *)
+  check (facts [ fact "R" [ "a"; "2" ]; fact "S" [ "a"; "a" ]; fact "T" [ "a"; "3" ] ]);
+  (* unsatisfied: missing the S(x,a) leg *)
+  check (facts [ fact "R" [ "1"; "2" ]; fact "S" [ "a"; "1" ]; fact "T" [ "1"; "3" ] ]);
+  check Fact.Set.empty
+
+let test_guard () =
+  Alcotest.check_raises "C must contain query constants"
+    (Invalid_argument "Shatter.shatter: C must contain the query constants") (fun () ->
+        ignore (Shatter.shatter e1 ~c:Term.Sset.empty))
+
+let test_shatter_database () =
+  let c = Term.Sset.singleton "a" in
+  let fs = facts [ fact "S" [ "a"; "1" ]; fact "S" [ "a"; "a" ]; fact "S" [ "1"; "2" ] ] in
+  let sh = Shatter.shatter_database fs ~c in
+  Alcotest.(check int) "cardinality preserved" 3 (Fact.Set.cardinal sh);
+  Alcotest.(check bool) "pinned fact" true
+    (Fact.Set.mem (fact "S@a,*" [ "1" ]) sh);
+  Alcotest.(check bool) "nullary gets $unit" true
+    (Fact.Set.mem (fact "S@a,a" [ "$unit" ]) sh);
+  Alcotest.(check bool) "free fact" true (Fact.Set.mem (fact "S@*,*" [ "1"; "2" ]) sh)
+
+(* random equivalence: original query over D ≡ shattered union over
+   shattered D *)
+let prop_shatter_equivalence =
+  qcheck ~count:60 "shattering preserves satisfaction"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_database r
+           ~rels:[ ("R", 2); ("S", 2); ("T", 2) ]
+           ~consts:[ "a"; "1"; "2" ] ~n_endo:(2 + Workload.int r 5) ~n_exo:0
+       in
+       let fs = Database.all db in
+       let c = Term.Sset.singleton "a" in
+       let disjuncts = Shatter.shatter e1 ~c in
+       Cq.eval e1 fs = Shatter.eval disjuncts (Shatter.shatter_database fs ~c))
+
+let suite =
+  [
+    Alcotest.test_case "Example E.1" `Quick test_example_e1;
+    Alcotest.test_case "identity disjunct" `Quick test_identity_disjunct_connected;
+    Alcotest.test_case "semantic equivalence" `Quick test_semantic_equivalence_concrete;
+    Alcotest.test_case "guards" `Quick test_guard;
+    Alcotest.test_case "database shattering" `Quick test_shatter_database;
+    prop_shatter_equivalence;
+  ]

@@ -1,0 +1,196 @@
+open Test_util
+
+let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
+
+let test_svc_single_support () =
+  (* all three facts necessary: each contributes 1/3 *)
+  let db =
+    Database.make ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ] ] ~exo:[]
+  in
+  List.iter
+    (fun f ->
+       check_rational (Fact.to_string f) (Rational.of_ints 1 3) (Svc.svc qrst db f))
+    (Database.endo_list db)
+
+let test_svc_with_exogenous () =
+  (* R and T exogenous: S(1,2) is the only player and a singleton support *)
+  let db =
+    Database.make ~endo:[ fact "S" [ "1"; "2" ] ] ~exo:[ fact "R" [ "1" ]; fact "T" [ "2" ] ]
+  in
+  check_rational "sole contributor" Rational.one (Svc.svc qrst db (fact "S" [ "1"; "2" ]))
+
+let test_svc_zero_for_irrelevant () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "R" [ "99" ] ]
+      ~exo:[]
+  in
+  check_rational "irrelevant fact" Rational.zero (Svc.svc qrst db (fact "R" [ "99" ]))
+
+let test_svc_guards () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[ fact "T" [ "2" ] ] in
+  Alcotest.check_raises "not endogenous" (Invalid_argument "Svc.svc: fact is not endogenous")
+    (fun () -> ignore (Svc.svc qrst db (fact "T" [ "2" ])));
+  Alcotest.check_raises "brute guard" (Invalid_argument "Svc.svc_brute: fact is not endogenous")
+    (fun () -> ignore (Svc.svc_brute qrst db (fact "T" [ "2" ])))
+
+let test_svc_efficiency () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "S" [ "1"; "3" ];
+              fact "T" [ "3" ] ]
+      ~exo:[]
+  in
+  let total =
+    List.fold_left (fun acc (_, v) -> Rational.add acc v) Rational.zero (Svc.svc_all qrst db)
+  in
+  check_rational "sum of values = 1" Rational.one total
+
+let test_max_svc () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "S" [ "1"; "3" ];
+              fact "T" [ "3" ] ]
+      ~exo:[]
+  in
+  (match (Max_svc.max_svc qrst db, Max_svc.max_svc_brute qrst db) with
+   | Some (f1, v1), Some (_, v2) ->
+     check_rational "agree" v1 v2;
+     (* R(1) is in every support: it must be a top contributor *)
+     Alcotest.(check bool) "R(1) among top" true
+       (List.exists
+          (fun (f, _) -> Fact.equal f (fact "R" [ "1" ]))
+          (Max_svc.top_contributors qrst db));
+     ignore f1
+   | _ -> Alcotest.fail "expected values");
+  Alcotest.(check bool) "empty database" true
+    (Max_svc.max_svc qrst (Database.make ~endo:[] ~exo:[]) = None)
+
+let test_const_svc_bibliography () =
+  (* the paper's §6.4 example: author expertise on 'Shapley' papers *)
+  let qstar = Query_parse.parse "Publication(?x,?y), Keyword(?y,shapley)" in
+  let fs =
+    facts
+      [ fact "Publication" [ "alice"; "p1" ]; fact "Publication" [ "bob"; "p1" ];
+        fact "Publication" [ "alice"; "p2" ]; fact "Keyword" [ "p1"; "shapley" ];
+        fact "Keyword" [ "p2"; "shapley" ]; fact "Publication" [ "carol"; "p3" ];
+        fact "Keyword" [ "p3"; "logic" ] ]
+  in
+  let inst =
+    Const_svc.make_instance ~facts:fs
+      ~endo_consts:(Term.Sset.of_list [ "alice"; "bob"; "carol" ])
+  in
+  let values = Const_svc.svc_const_all qstar inst in
+  let v name = List.assoc name values in
+  check_rational "alice" Rational.half (v "alice");
+  check_rational "bob" Rational.half (v "bob");
+  check_rational "carol (no shapley paper)" Rational.zero (v "carol");
+  Alcotest.check_raises "exogenous constant"
+    (Invalid_argument "Const_svc.svc_const: constant is not endogenous") (fun () ->
+        ignore (Const_svc.svc_const qstar inst "p1"))
+
+let test_const_counting () =
+  let q = Query_parse.parse "R(?x,?y), T(?y,?z)" in
+  let fs =
+    facts
+      [ fact "R" [ "1"; "2" ]; fact "T" [ "2"; "3" ]; fact "R" [ "4"; "2" ];
+        fact "T" [ "2"; "5" ] ]
+  in
+  let inst =
+    Const_svc.make_instance ~facts:fs ~endo_consts:(Term.Sset.of_list [ "1"; "2"; "4" ])
+  in
+  check_zpoly "lineage = brute"
+    (Const_svc.fgmc_const_polynomial_brute q inst)
+    (Const_svc.fgmc_const_polynomial q inst);
+  (* a constant absent from the facts is a null player *)
+  let inst_null = Const_svc.make_instance ~facts:fs ~endo_consts:(Term.Sset.of_list [ "1"; "zzz" ]) in
+  check_rational "null player" Rational.zero (Const_svc.svc_const q inst_null "zzz");
+  (* fmc_const requires all constants endogenous *)
+  Alcotest.check_raises "fmc const guard"
+    (Invalid_argument "Const_svc.fmc_const_polynomial: instance has exogenous constants")
+    (fun () -> ignore (Const_svc.fmc_const_polynomial q inst))
+
+let random_db seed =
+  let r = Workload.rng seed in
+  Workload.random_database r
+    ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+    ~consts:[ "1"; "2"; "3" ]
+    ~n_endo:(1 + Workload.int r 5)
+    ~n_exo:(Workload.int r 3)
+
+let prop_svc_vs_brute =
+  qcheck ~count:40 "SVC via FGMC = brute Eq.2" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let db = random_db seed in
+       List.for_all
+         (fun f -> Rational.equal (Svc.svc qrst db f) (Svc.svc_brute qrst db f))
+         (Database.endo_list db))
+
+let prop_const_svc_efficiency =
+  qcheck ~count:30 "constants game efficiency" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let r = Workload.rng seed in
+       let db =
+         Workload.random_graph r ~labels:[ "R"; "T" ] ~nodes:[ "1"; "2"; "3"; "4" ]
+           ~n_endo:5 ~n_exo:0
+       in
+       let fs = Database.all db in
+       if Fact.Set.is_empty fs then true
+       else begin
+         let all_consts = Fact.Set.consts fs in
+         let endo_consts =
+           Term.Sset.filter (fun c -> c < "3") all_consts
+         in
+         if Term.Sset.is_empty endo_consts then true
+         else begin
+           let inst = Const_svc.make_instance ~facts:fs ~endo_consts in
+           let q = Query_parse.parse "R(?x,?y), T(?y,?z)" in
+           let vals = Const_svc.svc_const_all q inst in
+           let total = List.fold_left (fun a (_, v) -> Rational.add a v) Rational.zero vals in
+           (* efficiency: total = v(full) - v(∅) *)
+           let full_sat = Query.eval q (Const_svc.induced inst endo_consts) in
+           let empty_sat = Query.eval q (Const_svc.induced inst Term.Sset.empty) in
+           let expected =
+             if empty_sat then Rational.zero
+             else if full_sat then Rational.one
+             else Rational.zero
+           in
+           Rational.equal total expected
+         end
+       end)
+
+let test_banzhaf_counting () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "S" [ "1"; "3" ] ]
+      ~exo:[ fact "T" [ "3" ] ]
+  in
+  List.iter
+    (fun f ->
+       check_rational (Fact.to_string f) (Svc.banzhaf_brute qrst db f)
+         (Svc.banzhaf qrst db f))
+    (Database.endo_list db)
+
+let prop_banzhaf_vs_brute =
+  qcheck ~count:30 "Banzhaf via GMC = brute" QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+       let db = random_db seed in
+       List.for_all
+         (fun f -> Rational.equal (Svc.banzhaf qrst db f) (Svc.banzhaf_brute qrst db f))
+         (Database.endo_list db))
+
+let suite =
+  [
+    Alcotest.test_case "single-support values" `Quick test_svc_single_support;
+    Alcotest.test_case "Banzhaf via counting" `Quick test_banzhaf_counting;
+    prop_banzhaf_vs_brute;
+    Alcotest.test_case "exogenous completion" `Quick test_svc_with_exogenous;
+    Alcotest.test_case "irrelevant fact" `Quick test_svc_zero_for_irrelevant;
+    Alcotest.test_case "guards" `Quick test_svc_guards;
+    Alcotest.test_case "efficiency" `Quick test_svc_efficiency;
+    Alcotest.test_case "max-SVC" `Quick test_max_svc;
+    Alcotest.test_case "constants: bibliography (§6.4)" `Quick test_const_svc_bibliography;
+    Alcotest.test_case "constants: counting" `Quick test_const_counting;
+    prop_svc_vs_brute;
+    prop_const_svc_efficiency;
+  ]

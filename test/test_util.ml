@@ -1,0 +1,36 @@
+(* Shared helpers for the test suite. *)
+
+let fact r a = Fact.make r a
+let facts l = Fact.Set.of_list l
+
+let bigint_t : Bigint.t Alcotest.testable =
+  Alcotest.testable Bigint.pp Bigint.equal
+
+let rational_t : Rational.t Alcotest.testable =
+  Alcotest.testable Rational.pp Rational.equal
+
+let zpoly_t : Poly.Z.t Alcotest.testable = Alcotest.testable Poly.Z.pp Poly.Z.equal
+
+let fact_set_t : Fact.Set.t Alcotest.testable =
+  Alcotest.testable Fact.Set.pp Fact.Set.equal
+
+let check_bigint = Alcotest.check bigint_t
+let check_rational = Alcotest.check rational_t
+let check_zpoly = Alcotest.check zpoly_t
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* A pool of random partitioned databases for a given schema. *)
+let random_dbs ~seed ~rounds ~rels ~consts ~n_endo ~n_exo =
+  let r = Workload.rng seed in
+  List.init rounds (fun _ ->
+      Workload.random_database r ~rels ~consts
+        ~n_endo:(1 + Workload.int r n_endo)
+        ~n_exo:(Workload.int r (n_exo + 1)))
+
+(* Exhaustively compare a query's lineage-based FGMC against brute force. *)
+let fgmc_agree q db =
+  Poly.Z.equal
+    (Model_counting.fgmc_polynomial q db)
+    (Model_counting.fgmc_polynomial_brute q db)

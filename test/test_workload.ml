@@ -1,0 +1,75 @@
+
+
+let test_rng_determinism () =
+  let a = Workload.rng 42 and b = Workload.rng 42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Workload.int a 1000) (Workload.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Workload.rng 7 in
+  for _ = 1 to 200 do
+    let v = Workload.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Workload.int: non-positive bound")
+    (fun () -> ignore (Workload.int r 0))
+
+let test_random_database () =
+  let r = Workload.rng 1 in
+  let db =
+    Workload.random_database r ~rels:[ ("R", 2); ("S", 1) ] ~consts:[ "a"; "b"; "c" ]
+      ~n_endo:5 ~n_exo:3
+  in
+  Alcotest.(check int) "endo count" 5 (Database.size_endo db);
+  Alcotest.(check int) "total" 8 (Database.size db);
+  (* partition invariant is enforced by construction *)
+  Alcotest.(check bool) "disjoint" true
+    (Fact.Set.is_empty (Fact.Set.inter (Database.endo db) (Database.exo db)))
+
+let test_pool_exhaustion () =
+  (* only 2 possible facts exist; asking for 10 must not loop forever *)
+  let r = Workload.rng 3 in
+  let db =
+    Workload.random_database r ~rels:[ ("R", 1) ] ~consts:[ "a"; "b" ] ~n_endo:10 ~n_exo:0
+  in
+  Alcotest.(check bool) "bounded by pool" true (Database.size_endo db <= 2)
+
+let test_rst_gadget () =
+  let db = Workload.rst_gadget ~rows:3 ~extra_exo:false () in
+  Alcotest.(check bool) "satisfies q_RST" true
+    (Query.holds (Query_parse.parse "R(?x), S(?x,?y), T(?y)") db);
+  let db2 = Workload.rst_gadget ~rows:3 ~extra_exo:true () in
+  Alcotest.(check bool) "has exogenous facts" false (Fact.Set.is_empty (Database.exo db2))
+
+let test_path_graph () =
+  let db = Workload.path_graph ~label_word:[ "A"; "B"; "C" ] ~n_paths:4 in
+  Alcotest.(check int) "edges" 12 (Database.size_endo db);
+  Alcotest.(check bool) "paths connect" true
+    (Query.holds (Query_parse.parse "rpq: (ABC)(s,t)") db)
+
+let test_bibliography () =
+  let fs = Workload.bibliography ~n_authors:4 ~n_papers:6 ~seed:11 in
+  Alcotest.(check bool) "keywords present" true
+    (Fact.Set.exists (fun f -> Fact.rel f = "Keyword") fs);
+  (* deterministic *)
+  let fs' = Workload.bibliography ~n_authors:4 ~n_papers:6 ~seed:11 in
+  Alcotest.(check bool) "deterministic" true (Fact.Set.equal fs fs')
+
+let test_star_join () =
+  let db = Workload.star_join ~spokes:5 in
+  Alcotest.(check int) "facts" 6 (Database.size_endo db);
+  Alcotest.(check bool) "satisfies" true
+    (Query.holds (Query_parse.parse "R(?x), S(?x,?y)") db)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "random databases" `Quick test_random_database;
+    Alcotest.test_case "pool exhaustion" `Quick test_pool_exhaustion;
+    Alcotest.test_case "RST gadget" `Quick test_rst_gadget;
+    Alcotest.test_case "path graphs" `Quick test_path_graph;
+    Alcotest.test_case "bibliography" `Quick test_bibliography;
+    Alcotest.test_case "star join" `Quick test_star_join;
+  ]
