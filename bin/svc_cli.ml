@@ -211,6 +211,81 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ db_arg $ query_arg 1)
 
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let query_opt =
+    Arg.(value & opt (some string) None
+         & info [ "query"; "q" ] ~docv:"QUERY" ~doc:"Query to analyze.")
+  in
+  let db_opt =
+    Arg.(value & opt (some file) None
+         & info [ "db"; "d" ] ~docv:"FILE" ~doc:"Database file to analyze.")
+  in
+  let workload_opt =
+    Arg.(value & opt (some file) None
+         & info [ "workload"; "w" ] ~docv:"FILE" ~doc:"Workload file to analyze.")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit with status 1 on warnings, not just errors.")
+  in
+  let read_file path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let run query db workload format strict =
+    if query = None && db = None && workload = None then begin
+      prerr_endline
+        "svc analyze: nothing to analyze (give --query, --db and/or --workload)";
+      exit 2
+    end;
+    let q, query_ds =
+      match query with
+      | None -> (None, [])
+      | Some s -> Analyze.query_src s
+    in
+    let dbv, db_ds =
+      match db with
+      | None -> (None, [])
+      | Some path -> Analyze.database_src (read_file path)
+    in
+    let pair_ds =
+      match (q, dbv) with
+      | Some q, Some d -> Analyze.pair q d
+      | _ -> []
+    in
+    let workload_ds =
+      match workload with
+      | None -> []
+      | Some path -> snd (Analyze.workload_src (read_file path))
+    in
+    let ds = Diagnostic.sort (query_ds @ db_ds @ pair_ds @ workload_ds) in
+    (match format with
+     | `Json -> print_endline (Diagnostic.list_to_json ds)
+     | `Text ->
+       List.iter (fun d -> print_endline (Diagnostic.to_string d)) ds;
+       Printf.printf "%s%d error(s), %d warning(s), %d hint(s)\n"
+         (if ds = [] then "" else "\n")
+         (Diagnostic.count Diagnostic.Error ds)
+         (Diagnostic.count Diagnostic.Warning ds)
+         (Diagnostic.count Diagnostic.Hint ds));
+    if Diagnostic.gate ~strict ds then exit 1
+  in
+  let doc =
+    "Statically analyze a query, database and/or workload; report \
+     certificate-carrying diagnostics (codes Qxxx/Dxxx/Xxxx/Wxxx)."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ query_opt $ db_opt $ workload_opt $ format_arg $ strict_arg)
+
 let main =
   let doc =
     "Shapley value computation and model counting for database queries \
@@ -218,6 +293,6 @@ let main =
   in
   Cmd.group (Cmd.info "svc" ~version:"1.0.0" ~doc)
     [ shapley_cmd; count_cmd; prob_cmd; classify_cmd; reduce_cmd; max_cmd;
-      banzhaf_cmd; lineage_cmd; explain_cmd ]
+      banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

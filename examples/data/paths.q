@@ -1,0 +1,1 @@
+rpq: (Road Rail?)(s,t)

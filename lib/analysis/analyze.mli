@@ -1,0 +1,39 @@
+(** Static analysis passes: queries, databases, cross-checks, workloads.
+
+    Diagnostic codes (see README for the full table):
+
+    - [Q001] syntax error, [Q002] unknown language tag (from {!Query_parse})
+    - [Q003] non-hierarchical sjf query (certificate: {!Hierarchical.violation})
+    - [Q004] RPQ with a word of length ≥ 3 — #P-hard (certificate: the word)
+    - [Q005] dead path atom / empty language (certificate: emptiness proof)
+    - [Q006] redundant atom (certificate: homomorphism into the rest)
+    - [Q007] self-join (certificate: the atom pair)
+    - [Q008] absorbed UCQ disjunct (certificate: homomorphism)
+    - [Q009] cartesian-product CQ (certificate: the component split)
+    - [D101] malformed database line, [D102] arity conflict,
+      [D103] endo/exo overlap, [D104] duplicate fact line
+    - [X201] query relation missing from database, [X202] arity mismatch
+      between query and database, [X203] exponential blowup risk
+    - [W301] duplicate case name, [W302] empty workload, [W303] workload
+      file syntax error *)
+
+val query : Query.t -> Diagnostic.t list
+val query_src : string -> Query.t option * Diagnostic.t list
+(** Parse (reporting [Q001]/[Q002] with spans) then analyze. *)
+
+val database : Database.t -> Diagnostic.t list
+val database_src : string -> Database.t option * Diagnostic.t list
+(** Line-level checks ([D101]/[D103]/[D104]) need the source text; the
+    database is [None] when the parts overlap. *)
+
+val pair : Query.t -> Database.t -> Diagnostic.t list
+(** Cross-checks [X201]/[X202]/[X203]. *)
+
+val workload : Workload.t -> Diagnostic.t list
+val workload_src : string -> Workload.t option * Diagnostic.t list
+
+val empty_proof_of : Regex.t -> Diagnostic.empty_proof option
+(** [Some proof] iff the language is empty. *)
+
+val blowup_threshold : int
+(** Endogenous-fact count above which a non-FP query triggers [X203]. *)

@@ -1,0 +1,183 @@
+(* Independent certificate verification.
+
+   This module deliberately re-derives every claim from first principles —
+   set membership, substitution application, NFA word acceptance, raw
+   source re-scanning — without calling back into the analysis passes, so
+   that a certificate accepted here really establishes the diagnostic. *)
+
+open Diagnostic
+
+(* All atoms of the query relevant to hierarchy checks. *)
+let hierarchy_atoms (q : Query.t) =
+  match q with
+  | Query.Cq c -> Some (Cq.atoms c)
+  | Query.Cqneg c -> Some (Cqneg.pos c @ Cqneg.neg c)
+  | _ -> None
+
+let rec query_regexes (q : Query.t) =
+  match q with
+  | Query.Rpq r -> [ Rpq.lang r ]
+  | Query.Crpq c -> List.map (fun (a : Crpq.path_atom) -> a.Crpq.lang) (Crpq.path_atoms c)
+  | Query.Ucrpq u -> List.concat_map (fun c -> query_regexes (Query.Crpq c)) (Ucrpq.disjuncts u)
+  | Query.And (a, b) | Query.Or (a, b) -> query_regexes a @ query_regexes b
+  | _ -> []
+
+let rec check_empty_proof (re : Regex.t) (p : empty_proof) =
+  match (re, p) with
+  | Regex.Empty, Prim_empty -> true
+  | Regex.Seq (a, _), Seq_left p -> check_empty_proof a p
+  | Regex.Seq (_, b), Seq_right p -> check_empty_proof b p
+  | Regex.Alt (a, b), Alt_both (pa, pb) -> check_empty_proof a pa && check_empty_proof b pb
+  | _ -> false
+
+let hom_to_subst hom =
+  List.fold_left (fun m (v, t) -> Term.Smap.add v t m) Term.Smap.empty hom
+
+(* Every atom of [src], instantiated by [hom], must occur in [dst]. *)
+let check_hom hom src dst =
+  let subst = hom_to_subst hom in
+  List.for_all (fun a -> List.exists (Atom.equal (Atom.apply subst a)) dst) src
+
+let atom_terms atoms =
+  List.fold_left
+    (fun acc a -> List.fold_left (fun acc t -> Term.Set.add t acc) acc (Atom.args a))
+    Term.Set.empty atoms
+
+let same_atom_multiset xs ys =
+  List.sort Atom.compare xs = List.sort Atom.compare ys
+
+(* Independent re-scan of database source text: (tag, fact, 1-based line)
+   for every well-formed fact line. *)
+let scan_db_source text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw -> (i + 1, raw))
+  |> List.filter_map (fun (lineno, raw) ->
+      let line =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let line = String.trim line in
+      let tagged prefix tag =
+        let n = String.length prefix in
+        if String.length line > n && String.sub line 0 n = prefix
+           && (line.[n] = ' ' || line.[n] = '\t') then
+          match Db_text.parse_fact (String.sub line n (String.length line - n)) with
+          | f -> Some (tag, f, lineno)
+          | exception Invalid_argument _ -> None
+        else None
+      in
+      match tagged "endo" `Endo with
+      | Some r -> Some r
+      | None -> tagged "exo" `Exo)
+
+let check ?query:q ?database:db ?db_source (d : Diagnostic.t) =
+  let facts () =
+    match (db, db_source) with
+    | Some db, _ -> Some (Database.all db)
+    | None, Some src ->
+      Some (Fact.Set.of_list (List.map (fun (_, f, _) -> f) (scan_db_source src)))
+    | None, None -> None
+  in
+  match d.certificate with
+  | None -> true
+  | Some cert ->
+    (match cert with
+     | Non_hierarchical v ->
+       (match Option.bind q hierarchy_atoms with
+        | Some atoms -> Hierarchical.check_violation atoms v
+        | None -> false)
+     | Hard_word w ->
+       (match q with
+        | Some (Query.Rpq r) ->
+          List.length w >= 3 && Nfa.accepts (Nfa.of_regex (Rpq.lang r)) w
+        | _ -> false)
+     | Dead_language (re, proof) ->
+       check_empty_proof re proof
+       && (match q with
+           | Some q -> List.exists (Regex.equal re) (query_regexes q)
+           | None -> false)
+     | Subsumed_atom (a, hom) ->
+       (match q with
+        | Some (Query.Cq c) ->
+          let atoms = Cq.atoms c in
+          let rest = List.filter (fun b -> not (Atom.equal a b)) atoms in
+          List.exists (Atom.equal a) atoms
+          && rest <> []
+          && check_hom hom atoms rest
+        | _ -> false)
+     | Subsumed_disjunct { kept; dropped; hom } ->
+       (match q with
+        | Some (Query.Ucq u) ->
+          let ds = Ucq.disjuncts u in
+          List.exists (Cq.equal kept) ds
+          && List.exists (Cq.equal dropped) ds
+          && (not (Cq.equal kept dropped))
+          && check_hom hom (Cq.atoms kept) (Cq.atoms dropped)
+        | _ -> false)
+     | Self_join_pair (a, b) ->
+       (match q with
+        | Some (Query.Cq c) ->
+          let atoms = Cq.atoms c in
+          List.exists (Atom.equal a) atoms
+          && List.exists (Atom.equal b) atoms
+          && (not (Atom.equal a b))
+          && Atom.rel a = Atom.rel b
+        | _ -> false)
+     | Component_split (c1, c2) ->
+       (match q with
+        | Some (Query.Cq c) ->
+          c1 <> [] && c2 <> []
+          && same_atom_multiset (c1 @ c2) (Cq.atoms c)
+          && Term.Set.is_empty (Term.Set.inter (atom_terms c1) (atom_terms c2))
+        | _ -> false)
+     | Arity_conflict (f1, f2) ->
+       (match facts () with
+        | Some fs ->
+          Fact.Set.mem f1 fs && Fact.Set.mem f2 fs
+          && Fact.rel f1 = Fact.rel f2
+          && Fact.arity f1 <> Fact.arity f2
+        | None -> false)
+     | Part_overlap f ->
+       (match db_source with
+        | Some src ->
+          let scanned = scan_db_source src in
+          List.exists (fun (t, g, _) -> t = `Endo && Fact.equal f g) scanned
+          && List.exists (fun (t, g, _) -> t = `Exo && Fact.equal f g) scanned
+        | None -> false)
+     | Duplicate_fact (f, l1, l2) ->
+       (match db_source with
+        | Some src ->
+          l1 < l2
+          && (let scanned = scan_db_source src in
+              let at l = List.find_opt (fun (_, _, l') -> l' = l) scanned in
+              match (at l1, at l2) with
+              | Some (t1, g1, _), Some (t2, g2, _) ->
+                t1 = t2 && Fact.equal f g1 && Fact.equal f g2
+              | _ -> false)
+        | None -> false)
+     | Missing_relation (r, atom) ->
+       (match facts () with
+        | Some fs ->
+          (not (Fact.Set.exists (fun f -> Fact.rel f = r) fs))
+          && (match atom with Some a -> Atom.rel a = r | None -> true)
+        | None -> false)
+     | Query_db_arity { rel; query_arity; witness } ->
+       (match facts () with
+        | Some fs ->
+          Fact.Set.mem witness fs
+          && Fact.rel witness = rel
+          && Fact.arity witness <> query_arity
+        | None -> false)
+     | Blowup { verdict; n_endo } ->
+       (match (q, db) with
+        | Some q, Some db ->
+          Database.size_endo db = n_endo
+          && n_endo > Analyze.blowup_threshold
+          && (let j = Classify.classify q in
+              Classify.verdict_to_string j.Classify.verdict = verdict
+              && j.Classify.verdict <> Classify.FP)
+        | _ -> false))
+
+let check_all ?query ?database ?db_source ds =
+  List.for_all (fun d -> check ?query ?database ?db_source d) ds

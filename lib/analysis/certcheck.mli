@@ -1,0 +1,21 @@
+(** Independent verification of diagnostic certificates.
+
+    [check] re-establishes a diagnostic's certificate from the raw inputs
+    without trusting (or calling) the analysis passes: homomorphisms are
+    applied as substitutions and checked by membership, hard words are
+    re-accepted by an NFA built from the regex, emptiness proofs are
+    replayed structurally, and source-level claims ([D103]/[D104]) re-scan
+    the text with a separate parser.
+
+    A diagnostic without a certificate is vacuously accepted. *)
+
+val check :
+  ?query:Query.t -> ?database:Database.t -> ?db_source:string -> Diagnostic.t -> bool
+(** Whether the certificate is valid for the given inputs.  Certificates
+    about a missing input (e.g. a query certificate with no [?query])
+    are rejected. *)
+
+val check_all :
+  ?query:Query.t -> ?database:Database.t -> ?db_source:string -> Diagnostic.t list -> bool
+
+val check_empty_proof : Regex.t -> Diagnostic.empty_proof -> bool

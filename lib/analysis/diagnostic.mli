@@ -1,0 +1,85 @@
+(** Structured diagnostics with stable codes and checkable certificates.
+
+    Every diagnostic produced by {!module:Analyze} carries a stable code
+    ([Qxxx] for queries, [Dxxx] for databases, [Xxxx] for query/database
+    cross-checks, [Wxxx] for workloads), a severity, an optional source
+    span, a human message, and — where applicable — a machine-checkable
+    {!certificate} that an independent verifier ({!module:Certcheck}) can
+    re-establish without trusting the analyzer. *)
+
+type severity = Error | Warning | Hint
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+(** [Error < Warning < Hint]. *)
+
+type span = { line : int; col : int; len : int }
+(** 1-based line, 0-based column.  Query strings are line 1. *)
+
+val span_of_parse : Query_parse.diagnostic -> span
+val span_of_line : ?col:int -> ?len:int -> int -> span
+
+(** Structural proof that a regular expression denotes ∅: [Eps], [Sym]
+    and [Star] are never empty, so the proof descends through [Seq]
+    (one empty factor suffices) and [Alt] (both branches) to ∅ leaves. *)
+type empty_proof =
+  | Prim_empty
+  | Seq_left of empty_proof
+  | Seq_right of empty_proof
+  | Alt_both of empty_proof * empty_proof
+
+type certificate =
+  | Non_hierarchical of Hierarchical.violation
+      (** the variable pair and the three atoms splitting their covers *)
+  | Hard_word of string list
+      (** an accepted word of length ≥ 3 (Corollary 4.3, hard side) *)
+  | Dead_language of Regex.t * empty_proof
+  | Subsumed_atom of Atom.t * (string * Term.t) list
+      (** the redundant atom and a homomorphism [q → q∖atom] *)
+  | Subsumed_disjunct of { kept : Cq.t; dropped : Cq.t; hom : (string * Term.t) list }
+      (** [hom : kept → dropped] witnesses [dropped ⊨ kept] *)
+  | Self_join_pair of Atom.t * Atom.t
+  | Component_split of Atom.t list * Atom.t list
+      (** a partition of the atoms sharing no term *)
+  | Arity_conflict of Fact.t * Fact.t
+  | Part_overlap of Fact.t
+  | Duplicate_fact of Fact.t * int * int  (** fact, first line, second line *)
+  | Missing_relation of string * Atom.t option
+  | Query_db_arity of { rel : string; query_arity : int; witness : Fact.t }
+  | Blowup of { verdict : string; n_endo : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span option;
+  message : string;
+  certificate : certificate option;
+}
+
+val make :
+  ?span:span -> ?certificate:certificate -> code:string -> severity:severity -> string -> t
+
+val error : ?span:span -> ?certificate:certificate -> string -> string -> t
+val warning : ?span:span -> ?certificate:certificate -> string -> string -> t
+val hint : ?span:span -> ?certificate:certificate -> string -> string -> t
+
+val compare : t -> t -> int
+(** Severity first (errors < warnings < hints), then code, span, message. *)
+
+val sort : t list -> t list
+(** Sorted and de-duplicated. *)
+
+val count : severity -> t list -> int
+val max_severity : t list -> severity option
+
+val gate : strict:bool -> t list -> bool
+(** Whether the list should fail a gate: any [Error], or — with
+    [strict] — any [Warning]. *)
+
+val certificate_to_string : certificate -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+val list_to_json : t list -> string
+(** [{"diagnostics":[...],"summary":{"errors":n,...}}]. *)

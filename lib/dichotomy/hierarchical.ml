@@ -1,23 +1,79 @@
 let cq = Cq.is_hierarchical
 let cqneg = Cqneg.is_hierarchical
 
+(* ------------------------------------------------------------------ *)
+(* Checkable certificates of non-hierarchicalness                      *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  var1 : string;
+  var2 : string;
+  atom_only1 : Atom.t;  (* contains var1 but not var2 *)
+  atom_both : Atom.t;   (* contains both variables *)
+  atom_only2 : Atom.t;  (* contains var2 but not var1 *)
+}
+
+let certificate_atoms (atoms : Atom.t list) : violation option =
+  (* q is non-hierarchical iff two variables x, y have properly
+     overlapping atom covers: some atom contains both, some contains x
+     only, some contains y only.  (Equivalent to the footnote-5 triple
+     condition used by {!Cq.is_hierarchical}.) *)
+  let vars =
+    Term.Sset.elements
+      (List.fold_left
+         (fun acc a -> Term.Sset.union acc (Atom.vars a))
+         Term.Sset.empty atoms)
+  in
+  let find p = List.find_opt p atoms in
+  let pair_witness x y =
+    let has v a = Term.Sset.mem v (Atom.vars a) in
+    match
+      ( find (fun a -> has x a && not (has y a)),
+        find (fun a -> has x a && has y a),
+        find (fun a -> has y a && not (has x a)) )
+    with
+    | Some ax, Some axy, Some ay ->
+      Some { var1 = x; var2 = y; atom_only1 = ax; atom_both = axy; atom_only2 = ay }
+    | _ -> None
+  in
+  let rec over_pairs = function
+    | [] -> None
+    | x :: rest ->
+      let rec inner = function
+        | [] -> over_pairs rest
+        | y :: more ->
+          (match pair_witness x y with
+           | Some v -> Some v
+           | None -> inner more)
+      in
+      inner rest
+  in
+  over_pairs vars
+
+let certificate (q : Cq.t) : violation option = certificate_atoms (Cq.atoms q)
+
+let certificate_cqneg (q : Cqneg.t) : violation option =
+  certificate_atoms (Cqneg.pos q @ Cqneg.neg q)
+
+let check_violation (atoms : Atom.t list) (v : violation) : bool =
+  (* Independent re-verification: memberships only, no search. *)
+  let mem a = List.exists (Atom.equal a) atoms in
+  let has var a = Term.Sset.mem var (Atom.vars a) in
+  v.var1 <> v.var2
+  && mem v.atom_only1 && mem v.atom_both && mem v.atom_only2
+  && has v.var1 v.atom_only1 && not (has v.var2 v.atom_only1)
+  && has v.var1 v.atom_both && has v.var2 v.atom_both
+  && has v.var2 v.atom_only2 && not (has v.var1 v.atom_only2)
+
+let violation_to_string v =
+  Printf.sprintf
+    "variables ?%s/?%s: %s covers both, %s only ?%s, %s only ?%s"
+    v.var1 v.var2 (Atom.to_string v.atom_both) (Atom.to_string v.atom_only1)
+    v.var1 (Atom.to_string v.atom_only2) v.var2
+
+(* Footnote-5 triple view of the same witness: (α₁, α₂, α₃) with
+   vars α₁ ∩ vars α₂ ⊄ vars α₃ and vars α₃ ∩ vars α₂ ⊄ vars α₁. *)
 let witness_violation q =
-  let arr = Array.of_list (Cq.atoms q) in
-  let n = Array.length arr in
-  let found = ref None in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      for k = 0 to n - 1 do
-        if !found = None then begin
-          let v1 = Atom.vars arr.(i)
-          and v2 = Atom.vars arr.(j)
-          and v3 = Atom.vars arr.(k) in
-          if
-            (not (Term.Sset.subset (Term.Sset.inter v1 v2) v3))
-            && not (Term.Sset.subset (Term.Sset.inter v3 v2) v1)
-          then found := Some (arr.(i), arr.(j), arr.(k))
-        end
-      done
-    done
-  done;
-  !found
+  match certificate q with
+  | None -> None
+  | Some v -> Some (v.atom_only1, v.atom_both, v.atom_only2)

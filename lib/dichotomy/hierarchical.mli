@@ -9,6 +9,39 @@
 val cq : Cq.t -> bool
 val cqneg : Cqneg.t -> bool
 
+(** {1 Checkable certificates}
+
+    A query is {e non}-hierarchical iff two variables have properly
+    overlapping atom covers.  The witness carries the variable pair and
+    the three atoms that prove the overlap; {!check_violation} re-verifies
+    a witness by membership tests alone, independently of the search that
+    produced it. *)
+
+type violation = {
+  var1 : string;
+  var2 : string;
+  atom_only1 : Atom.t;  (** contains [var1] but not [var2] *)
+  atom_both : Atom.t;   (** contains both variables *)
+  atom_only2 : Atom.t;  (** contains [var2] but not [var1] *)
+}
+
+val certificate : Cq.t -> violation option
+(** [Some v] iff the CQ is not hierarchical ([certificate q = None] ⇔
+    {!cq}[ q]). *)
+
+val certificate_cqneg : Cqneg.t -> violation option
+(** Same, over positive {e and} negative atoms (the [12] condition). *)
+
+val certificate_atoms : Atom.t list -> violation option
+(** The underlying search over a raw atom list. *)
+
+val check_violation : Atom.t list -> violation -> bool
+(** Independent checker: the three atoms belong to the list and the two
+    variables split their covers as claimed. *)
+
+val violation_to_string : violation -> string
+
 val witness_violation : Cq.t -> (Atom.t * Atom.t * Atom.t) option
 (** A triple [(α₁, α₂, α₃)] with [vars α₁ ∩ vars α₂ ⊄ vars α₃] and
-    [vars α₃ ∩ vars α₂ ⊄ vars α₁], if any. *)
+    [vars α₃ ∩ vars α₂ ⊄ vars α₁], if any — the footnote-5 view of
+    {!certificate}. *)

@@ -1,27 +1,241 @@
-let parse s =
-  let s = String.trim s in
-  if String.lowercase_ascii s = "true" then Query.True
-  else begin
-    let tag, body =
-      match String.index_opt s ':' with
-      | Some i when i < 8 ->
-        ( String.lowercase_ascii (String.trim (String.sub s 0 i)),
-          String.sub s (i + 1) (String.length s - i - 1) )
-      | _ -> ("cq", s)
-    in
-    match tag with
-    | "cq" -> Query.Cq (Cq.parse body)
-    | "ucq" -> Query.Ucq (Ucq.parse body)
-    | "rpq" ->
-      (* parse as a single-atom CRPQ, then require constant endpoints *)
-      (match Crpq.path_atoms (Crpq.parse body) with
-       | [ { lang; psrc = Term.Const a; pdst = Term.Const b } ] ->
-         Query.Rpq (Rpq.make lang ~src:a ~dst:b)
-       | [ _ ] -> invalid_arg "Query_parse: RPQ endpoints must be constants"
-       | _ -> invalid_arg "Query_parse: an RPQ is a single path atom")
-    | "crpq" -> Query.Crpq (Crpq.parse body)
-    | "ucrpq" -> Query.Ucrpq (Ucrpq.parse body)
-    | "cqneg" -> Query.Cqneg (Cqneg.parse body)
-    | "gcq" -> Query.Gcq (Gcq.parse body)
-    | _ -> invalid_arg (Printf.sprintf "Query_parse: unknown language tag %S" tag)
+(* Front-end parser for Query.t, with location tracking.
+
+   The CQ-family languages (cq, ucq, cqneg) are parsed directly on the
+   input string with character offsets, so that syntax errors carry a
+   precise span and offending token.  The graph languages delegate to the
+   per-language parsers; their errors are attributed to the body span. *)
+
+type diagnostic = {
+  code : string;          (* "Q001" syntax error, "Q002" unknown tag *)
+  message : string;
+  offset : int;           (* 0-based character offset into the input *)
+  length : int;
+  token : string option;  (* the offending token, when identifiable *)
+}
+
+exception Error of diagnostic
+
+let code_syntax = "Q001"
+let code_unknown_tag = "Q002"
+
+let diagnostic_to_string d =
+  Printf.sprintf "%s at offset %d%s" d.message d.offset
+    (match d.token with
+     | Some t -> Printf.sprintf " (near token %S)" t
+     | None -> "")
+
+let err ?token ~code ~lo ~hi message =
+  raise (Error { code; message; offset = lo; length = max 0 (hi - lo); token })
+
+(* ------------------------------------------------------------------ *)
+(* Range helpers over the original input string                        *)
+(* ------------------------------------------------------------------ *)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let trim_range s lo hi =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi && is_space s.[!lo] do incr lo done;
+  while !hi > !lo && is_space s.[!hi - 1] do decr hi done;
+  (!lo, !hi)
+
+let sub_range s lo hi = String.sub s lo (hi - lo)
+
+(* Split [lo, hi) at every depth-0 occurrence of [sep]. *)
+let split_top s lo hi sep =
+  let parts = ref [] in
+  let depth = ref 0 in
+  let start = ref lo in
+  for i = lo to hi - 1 do
+    match s.[i] with
+    | '(' -> incr depth
+    | ')' -> decr depth
+    | c when c = sep && !depth = 0 ->
+      parts := (!start, i) :: !parts;
+      start := i + 1
+    | _ -> ()
+  done;
+  List.rev ((!start, hi) :: !parts)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '#' || c = '\''
+
+(* ------------------------------------------------------------------ *)
+(* Span-tracked atoms and terms (CQ family)                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_term_range s lo hi : Term.t =
+  let lo, hi = trim_range s lo hi in
+  if lo >= hi then err ~code:code_syntax ~lo ~hi:(lo + 1) "empty term";
+  let check_ident lo hi =
+    for i = lo to hi - 1 do
+      if not (is_ident_char s.[i]) then
+        err ~code:code_syntax ~lo:i ~hi:(i + 1)
+          ~token:(sub_range s lo hi)
+          (Printf.sprintf "invalid character %C in term" s.[i])
+    done
+  in
+  if s.[lo] = '?' then begin
+    if lo + 1 >= hi then
+      err ~code:code_syntax ~lo ~hi ~token:"?" "empty variable name";
+    check_ident (lo + 1) hi;
+    Term.var (sub_range s (lo + 1) hi)
   end
+  else begin
+    check_ident lo hi;
+    Term.const (sub_range s lo hi)
+  end
+
+let parse_atom_range s lo hi : Atom.t =
+  let lo, hi = trim_range s lo hi in
+  if lo >= hi then err ~code:code_syntax ~lo ~hi:(lo + 1) "empty atom";
+  let paren =
+    let rec find i = if i >= hi then None else if s.[i] = '(' then Some i else find (i + 1) in
+    find lo
+  in
+  match paren with
+  | None ->
+    err ~code:code_syntax ~lo ~hi ~token:(sub_range s lo hi) "atom is missing '('"
+  | Some p ->
+    if s.[hi - 1] <> ')' then
+      err ~code:code_syntax ~lo:(hi - 1) ~hi ~token:(sub_range s lo hi)
+        "atom is missing ')'";
+    let rlo, rhi = trim_range s lo p in
+    if rlo >= rhi then
+      err ~code:code_syntax ~lo ~hi:p "atom is missing its relation name";
+    let rel = sub_range s rlo rhi in
+    let ilo, ihi = (p + 1, hi - 1) in
+    let tlo, thi = trim_range s ilo ihi in
+    let args =
+      if tlo >= thi then [] (* nullary atom R() *)
+      else List.map (fun (l, h) -> parse_term_range s l h) (split_top s ilo ihi ',')
+    in
+    Atom.make rel args
+
+let parse_atoms_range s lo hi : Atom.t list =
+  List.map (fun (l, h) -> parse_atom_range s l h) (split_top s lo hi ',')
+
+let cq_of_atoms_range ~lo ~hi atoms =
+  match atoms with
+  | [] -> err ~code:code_syntax ~lo ~hi "empty conjunction (use 'true')"
+  | _ -> Cq.of_atoms atoms
+
+(* ------------------------------------------------------------------ *)
+(* Language bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_cq_body s lo hi = cq_of_atoms_range ~lo ~hi (parse_atoms_range s lo hi)
+
+let parse_ucq_body s lo hi =
+  let disjuncts =
+    List.map
+      (fun (l, h) ->
+         let l', h' = trim_range s l h in
+         if l' >= h' then err ~code:code_syntax ~lo:l ~hi:(l + 1) "empty disjunct";
+         parse_cq_body s l' h')
+      (split_top s lo hi '|')
+  in
+  Ucq.of_cqs disjuncts
+
+let parse_cqneg_body s lo hi =
+  let pos = ref [] and neg = ref [] in
+  List.iter
+    (fun (l, h) ->
+       let l, h = trim_range s l h in
+       if l >= h then err ~code:code_syntax ~lo:l ~hi:(l + 1) "empty atom";
+       if s.[l] = '!' then neg := (parse_atom_range s (l + 1) h, (l, h)) :: !neg
+       else pos := parse_atom_range s l h :: !pos)
+    (split_top s lo hi ',');
+  let pos = List.rev !pos and neg = List.rev !neg in
+  if pos = [] then
+    err ~code:code_syntax ~lo ~hi "a CQ with negation needs at least one positive atom";
+  (* safety: locate the offending negated atom ourselves *)
+  let pos_vars =
+    List.fold_left (fun acc a -> Term.Sset.union acc (Atom.vars a)) Term.Sset.empty pos
+  in
+  List.iter
+    (fun (a, (l, h)) ->
+       match Term.Sset.choose_opt (Term.Sset.diff (Atom.vars a) pos_vars) with
+       | Some v ->
+         err ~code:code_syntax ~lo:l ~hi:h ~token:(Atom.to_string a)
+           (Printf.sprintf
+              "unsafe negation: variable ?%s does not occur in a positive atom" v)
+       | None -> ())
+    neg;
+  Cqneg.make ~pos ~neg:(List.map fst neg)
+
+(* Delegate to a per-language parser, attributing failures to the body. *)
+let delegate s lo hi parse_fn =
+  let body = sub_range s lo hi in
+  match parse_fn body with
+  | q -> q
+  | exception Invalid_argument msg -> err ~code:code_syntax ~lo ~hi msg
+
+let parse_rpq_body s lo hi =
+  let crpq = delegate s lo hi Crpq.parse in
+  match Crpq.path_atoms crpq with
+  | [ { Crpq.lang; psrc = Term.Const a; pdst = Term.Const b } ] ->
+    Rpq.make lang ~src:a ~dst:b
+  | [ _ ] -> err ~code:code_syntax ~lo ~hi "RPQ endpoints must be constants"
+  | _ -> err ~code:code_syntax ~lo ~hi "an RPQ is a single path atom"
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_exn (s : string) : Query.t =
+  let lo0, hi0 = trim_range s 0 (String.length s) in
+  if lo0 >= hi0 then err ~code:code_syntax ~lo:0 ~hi:1 "empty query";
+  if String.lowercase_ascii (sub_range s lo0 hi0) = "true" then Query.True
+  else begin
+    let colon =
+      let rec find i = if i >= hi0 then None else if s.[i] = ':' then Some i else find (i + 1) in
+      find lo0
+    in
+    let tag_span, (blo, bhi) =
+      match colon with
+      | Some i when i - lo0 < 8 ->
+        let tlo, thi = trim_range s lo0 i in
+        (Some (tlo, thi), trim_range s (i + 1) hi0)
+      | _ -> (None, (lo0, hi0))
+    in
+    let tag =
+      match tag_span with
+      | Some (tlo, thi) -> String.lowercase_ascii (sub_range s tlo thi)
+      | None -> "cq"
+    in
+    if blo >= bhi then
+      err ~code:code_syntax ~lo:blo ~hi:(blo + 1)
+        (Printf.sprintf "empty %s body" tag);
+    match tag with
+    | "cq" -> Query.Cq (parse_cq_body s blo bhi)
+    | "ucq" -> Query.Ucq (parse_ucq_body s blo bhi)
+    | "cqneg" -> Query.Cqneg (parse_cqneg_body s blo bhi)
+    | "rpq" -> Query.Rpq (parse_rpq_body s blo bhi)
+    | "crpq" -> Query.Crpq (delegate s blo bhi Crpq.parse)
+    | "ucrpq" -> Query.Ucrpq (delegate s blo bhi Ucrpq.parse)
+    | "gcq" -> Query.Gcq (delegate s blo bhi Gcq.parse)
+    | _ ->
+      let tlo, thi =
+        match tag_span with Some sp -> sp | None -> (blo, bhi)
+      in
+      err ~code:code_unknown_tag ~lo:tlo ~hi:thi ~token:(sub_range s tlo thi)
+        (Printf.sprintf "unknown language tag %S" tag)
+  end
+
+let parse_result (s : string) : (Query.t, diagnostic) result =
+  match parse_exn s with
+  | q -> Ok q
+  | exception Error d -> Error d
+  | exception Invalid_argument msg ->
+    (* residual errors from sub-parsers reached outside [delegate] *)
+    Error { code = code_syntax; message = msg; offset = 0;
+            length = String.length s; token = None }
+
+let parse (s : string) : Query.t =
+  match parse_result s with
+  | Ok q -> q
+  | Error d -> invalid_arg ("Query_parse: " ^ diagnostic_to_string d)

@@ -1,4 +1,5 @@
-(** Front-end parser for the unified {!Query.t} type.
+(** Front-end parser for the unified {!Query.t} type, with location
+    tracking.
 
     Syntax: an optional language tag followed by the language-specific
     body (variables are [?]-prefixed everywhere):
@@ -10,10 +11,34 @@
       crpq:  (AB+BA)(?x,a), C(?x,?y)
       ucrpq: A(?x,?y) | (BC)(?x,a)
       cqneg: R(?x), S(?x,?y), !T(?y)
+      gcq:   S(?x,?y), !(A(?x) & B(?y))
       true
     v}
 
-    Without a tag, [cq:] is assumed. *)
+    Without a tag, [cq:] is assumed.  Nullary atoms [R()] are accepted.
+
+    Errors carry a {!diagnostic}: a stable code, the character offset and
+    length of the offending span in the input, and (when identifiable) the
+    offending token.  For the CQ-family languages (cq, ucq, cqneg) the
+    span points at the exact atom, term or character; for the delegated
+    graph languages it covers the query body. *)
+
+type diagnostic = {
+  code : string;
+  (** ["Q001"] for syntax errors, ["Q002"] for an unknown language tag. *)
+  message : string;
+  offset : int;           (** 0-based character offset into the input *)
+  length : int;           (** length of the offending span *)
+  token : string option;  (** the offending token, when identifiable *)
+}
+
+exception Error of diagnostic
+
+val diagnostic_to_string : diagnostic -> string
+(** ["<message> at offset N (near token T)"]. *)
+
+val parse_result : string -> (Query.t, diagnostic) result
+(** Non-raising entry point, used by the static analyzer. *)
 
 val parse : string -> Query.t
-(** @raise Invalid_argument on syntax errors. *)
+(** @raise Invalid_argument with a located message on syntax errors. *)

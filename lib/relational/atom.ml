@@ -2,7 +2,6 @@ type t = { rel : string; args : Term.t list }
 
 let make rel args =
   if rel = "" then invalid_arg "Atom.make: empty relation name";
-  if args = [] then invalid_arg "Atom.make: atoms must have positive arity";
   { rel; args }
 
 let rel a = a.rel

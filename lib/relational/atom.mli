@@ -6,8 +6,10 @@
 type t = { rel : string; args : Term.t list }
 
 val make : string -> Term.t list -> t
-(** @raise Invalid_argument on empty relation name or nullary atom (the
-    paper assumes positive arities, cf. proof of Lemma 4.2). *)
+(** Nullary atoms [R()] are allowed (propositional relations); note that
+    the paper's constructions assume positive arities (cf. proof of
+    Lemma 4.2), so the reductions are only exercised on arity ≥ 1.
+    @raise Invalid_argument on an empty relation name. *)
 
 val rel : t -> string
 val args : t -> Term.t list

@@ -3,13 +3,21 @@ let parse_fact s =
   match String.index_opt s '(' with
   | None -> invalid_arg ("Db_text.parse_fact: missing '(' in " ^ s)
   | Some i ->
-    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+    if s.[String.length s - 1] <> ')' then
       invalid_arg ("Db_text.parse_fact: missing ')' in " ^ s);
     let rel = String.trim (String.sub s 0 i) in
+    if rel = "" then invalid_arg ("Db_text.parse_fact: missing relation name in " ^ s);
     let inner = String.sub s (i + 1) (String.length s - i - 2) in
-    let args = List.map String.trim (String.split_on_char ',' inner) in
-    if List.exists (fun a -> a = "") args then
-      invalid_arg ("Db_text.parse_fact: empty argument in " ^ s);
+    (* [R()] is a nullary fact; otherwise no argument may be empty *)
+    let args =
+      if String.trim inner = "" then []
+      else begin
+        let args = List.map String.trim (String.split_on_char ',' inner) in
+        if List.exists (fun a -> a = "") args then
+          invalid_arg ("Db_text.parse_fact: empty argument in " ^ s);
+        args
+      end
+    in
     Fact.make rel args
 
 let parse text =
@@ -29,7 +37,17 @@ let parse text =
              (Printf.sprintf "Db_text.parse: line %d: expected 'endo FACT' or 'exo FACT'"
                 (lineno + 1))
          in
-         match String.index_opt line ' ' with
+         let sep =
+           (* the tag separator is the first blank, space or tab *)
+           let n = String.length line in
+           let rec find i =
+             if i >= n then None
+             else if line.[i] = ' ' || line.[i] = '\t' then Some i
+             else find (i + 1)
+           in
+           find 0
+         in
+         match sep with
          | None -> fail ()
          | Some i ->
            let tag = String.sub line 0 i in

@@ -2,7 +2,6 @@ type t = { rel : string; args : string list }
 
 let make rel args =
   if rel = "" then invalid_arg "Fact.make: empty relation name";
-  if args = [] then invalid_arg "Fact.make: facts must have positive arity";
   { rel; args }
 
 let rel f = f.rel

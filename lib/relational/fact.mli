@@ -3,7 +3,8 @@
 type t = { rel : string; args : string list }
 
 val make : string -> string list -> t
-(** @raise Invalid_argument on empty relation name or nullary fact. *)
+(** Nullary facts [R()] are allowed (propositional relations).
+    @raise Invalid_argument on an empty relation name. *)
 
 val rel : t -> string
 val args : t -> string list

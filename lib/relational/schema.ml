@@ -1,0 +1,47 @@
+(* Schema inference: relation name -> arity, with arity-conflict
+   certificates when a relation is used at two different arities. *)
+
+type conflict = { rel : string; witness1 : Fact.t; witness2 : Fact.t }
+
+type t = (int * Fact.t) Term.Smap.t
+(* relation -> (arity, first fact seen with that arity) *)
+
+let empty : t = Term.Smap.empty
+
+let add_fact (schema, conflicts) f =
+  let rel = Fact.rel f and k = Fact.arity f in
+  match Term.Smap.find_opt rel schema with
+  | None -> (Term.Smap.add rel (k, f) schema, conflicts)
+  | Some (k', w) ->
+    if k = k' then (schema, conflicts)
+    else (schema, { rel; witness1 = w; witness2 = f } :: conflicts)
+
+let infer facts =
+  let schema, conflicts =
+    Fact.Set.fold (fun f acc -> add_fact acc f) facts (empty, [])
+  in
+  (schema, List.rev conflicts)
+
+let of_database db = infer (Database.all db)
+
+let arity schema rel =
+  Option.map fst (Term.Smap.find_opt rel schema)
+
+let mem schema rel = Term.Smap.mem rel schema
+
+let witness schema rel = Option.map snd (Term.Smap.find_opt rel schema)
+
+let to_list schema =
+  Term.Smap.fold (fun rel (k, _) acc -> (rel, k) :: acc) schema []
+  |> List.sort compare
+
+let check_atom schema a =
+  match Term.Smap.find_opt (Atom.rel a) schema with
+  | None -> `Unknown_relation
+  | Some (k, w) -> if Atom.arity a = k then `Ok else `Arity_mismatch w
+
+let pp fmt schema =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun f (r, k) ->
+         Format.fprintf f "%s/%d" r k))
+    (to_list schema)

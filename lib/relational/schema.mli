@@ -1,0 +1,36 @@
+(** Schema inference over fact sets and databases.
+
+    The paper works schema-less: a database is any finite set of facts.
+    For static analysis we recover the implied schema — each relation name
+    with its arity — and report {e conflicts}: relations used at two
+    different arities, certified by a pair of witnessing facts. *)
+
+type conflict = {
+  rel : string;
+  witness1 : Fact.t;  (** first fact seen for [rel] *)
+  witness2 : Fact.t;  (** a fact of [rel] with a different arity *)
+}
+
+type t
+
+val empty : t
+
+val infer : Fact.Set.t -> t * conflict list
+(** Inferred schema (first-seen arity wins) and all arity conflicts. *)
+
+val of_database : Database.t -> t * conflict list
+
+val arity : t -> string -> int option
+val mem : t -> string -> bool
+
+val witness : t -> string -> Fact.t option
+(** The fact that fixed the relation's arity. *)
+
+val to_list : t -> (string * int) list
+(** Sorted [(relation, arity)] pairs. *)
+
+val check_atom : t -> Atom.t -> [ `Ok | `Unknown_relation | `Arity_mismatch of Fact.t ]
+(** Check a query atom against the schema; on arity mismatch, returns the
+    database fact witnessing the conflicting arity. *)
+
+val pp : Format.formatter -> t -> unit

@@ -6,7 +6,13 @@
       ([O(2^|Dₙ|)] query evaluations);
     - {!svc} runs the reduction of Claim A.1 through the lineage-based FGMC
       engine: [Sh(μ) = Σ_j C_j (FGMC_j(Dₙ∖μ, Dₓ∪μ) - FGMC_j(Dₙ∖μ, Dₓ))]
-      with [C_j = j!(|Dₙ|-j-1)!/|Dₙ|!]. *)
+      with [C_j = j!(|Dₙ|-j-1)!/|Dₙ|!].
+
+    When the [SVC_DEBUG] environment variable is set (to anything but [""]
+    or ["0"]), every entry point first runs the static analyzer
+    ({!Analyze.query}, {!Analyze.database}, {!Analyze.pair}) on its inputs
+    and raises [Invalid_argument] with the rendered diagnostics if any
+    [Error]-severity diagnostic is reported. *)
 
 val svc : Query.t -> Database.t -> Fact.t -> Rational.t
 (** @raise Invalid_argument if the fact is not endogenous. *)

@@ -1,3 +1,161 @@
+(* ------------------------------------------------------------------ *)
+(* Named workloads: (query, database) cases for batch analysis/runs    *)
+(* ------------------------------------------------------------------ *)
+
+type case = {
+  cname : string;
+  query_src : string;
+  query : Query.t;
+  db : Database.t;
+}
+
+type t = {
+  wname : string;
+  cases : case list;
+}
+
+let make ~name ~cases = { wname = name; cases }
+let name w = w.wname
+let cases w = w.cases
+
+let case ~name ~query_src ~db =
+  { cname = name; query_src; query = Query_parse.parse query_src; db }
+
+(* Text format, one self-contained file:
+
+     workload demo          # optional header line
+     case first
+     query R(?x), S(?x,?y)
+     endo R(1)
+     endo S(1,2)
+     exo  T(2)
+
+     case second
+     query rpq: (AB)(s,t)
+     endo A(s,m)
+     endo B(m,t)
+
+   '#' starts a comment; blank lines are ignored.  Each [case] block has
+   exactly one [query] line and any number of endo/exo fact lines. *)
+
+exception Parse_error of string * int  (* message, 1-based line *)
+
+let parse_result text =
+  let strip line =
+    match String.index_opt line '#' with
+    | Some i -> String.trim (String.sub line 0 i)
+    | None -> String.trim line
+  in
+  let split_tag line =
+    match String.index_opt line ' ' with
+    | None ->
+      (* also accept tab-separated tags, as in Db_text *)
+      (match String.index_opt line '\t' with
+       | None -> (line, "")
+       | Some i ->
+         (String.sub line 0 i,
+          String.trim (String.sub line i (String.length line - i))))
+    | Some i ->
+      (String.sub line 0 i, String.trim (String.sub line i (String.length line - i)))
+  in
+  try
+    let wname = ref "workload" in
+    let finished = ref [] in
+    (* pending case: name, lineno, query source option, reversed fact lines *)
+    let pending = ref None in
+    let flush () =
+      match !pending with
+      | None -> ()
+      | Some (cname, lineno, qsrc, facts) ->
+        let query_src =
+          match qsrc with
+          | Some s -> s
+          | None -> raise (Parse_error (Printf.sprintf "case %S has no query line" cname, lineno))
+        in
+        let query =
+          match Query_parse.parse_result query_src with
+          | Ok q -> q
+          | Error d ->
+            raise (Parse_error
+                     (Printf.sprintf "case %S: %s" cname (Query_parse.diagnostic_to_string d),
+                      lineno))
+        in
+        let endo = List.filter_map (fun (t, f) -> if t = `Endo then Some f else None) facts in
+        let exo = List.filter_map (fun (t, f) -> if t = `Exo then Some f else None) facts in
+        let db =
+          try Database.make ~endo ~exo
+          with Invalid_argument m -> raise (Parse_error (Printf.sprintf "case %S: %s" cname m, lineno))
+        in
+        finished := { cname; query_src; query; db } :: !finished;
+        pending := None
+    in
+    List.iteri
+      (fun i raw ->
+         let lineno = i + 1 in
+         let line = strip raw in
+         if line <> "" then begin
+           let tag, rest = split_tag line in
+           match tag with
+           | "workload" -> wname := if rest = "" then !wname else rest
+           | "case" ->
+             flush ();
+             if rest = "" then raise (Parse_error ("case line needs a name", lineno));
+             pending := Some (rest, lineno, None, [])
+           | "query" ->
+             (match !pending with
+              | None -> raise (Parse_error ("query line outside a case", lineno))
+              | Some (_, _, Some _, _) ->
+                raise (Parse_error ("a case has exactly one query line", lineno))
+              | Some (n, l, None, facts) -> pending := Some (n, l, Some rest, facts))
+           | "endo" | "exo" ->
+             (match !pending with
+              | None -> raise (Parse_error ("fact line outside a case", lineno))
+              | Some (n, l, q, facts) ->
+                let f =
+                  try Db_text.parse_fact rest
+                  with Invalid_argument m -> raise (Parse_error (m, lineno))
+                in
+                let part = if tag = "endo" then `Endo else `Exo in
+                pending := Some (n, l, q, facts @ [ (part, f) ]))
+           | _ ->
+             raise (Parse_error
+                      (Printf.sprintf
+                         "expected 'workload', 'case', 'query', 'endo' or 'exo', got %S" tag,
+                       lineno))
+         end)
+      (String.split_on_char '\n' text);
+    flush ();
+    Ok { wname = !wname; cases = List.rev !finished }
+  with Parse_error (msg, line) -> Error (msg, line)
+
+let parse text =
+  match parse_result text with
+  | Ok w -> w
+  | Error (msg, line) ->
+    invalid_arg (Printf.sprintf "Workload.parse: line %d: %s" line msg)
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content
+
+let to_string w =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("workload " ^ w.wname ^ "\n");
+  List.iter
+    (fun c ->
+       Buffer.add_string buf (Printf.sprintf "\ncase %s\nquery %s\n" c.cname c.query_src);
+       Fact.Set.iter
+         (fun f -> Buffer.add_string buf ("endo " ^ Fact.to_string f ^ "\n"))
+         (Database.endo c.db);
+       Fact.Set.iter
+         (fun f -> Buffer.add_string buf ("exo  " ^ Fact.to_string f ^ "\n"))
+         (Database.exo c.db))
+    w.cases;
+  Buffer.contents buf
+
 (* Small deterministic xorshift PRNG, independent of Stdlib.Random so that
    instances are stable across OCaml versions. *)
 type rng = { mutable state : int64 }

@@ -1,9 +1,48 @@
-(** Deterministic instance generators.
+(** Workloads and deterministic instance generators.
 
-    Random (seeded) and structured databases for the query classes studied
-    in the paper; used by the property tests and by the benchmark harness
-    that regenerates the figures.  All generators are pure functions of
-    their seed. *)
+    A {e workload} is a named list of (query, database) cases — the unit
+    the static analyzer ({!module:Analyze} in [lib/analysis]) vets before
+    batch execution.  The rest of the module provides random (seeded) and
+    structured databases for the query classes studied in the paper; used
+    by the property tests and by the benchmark harness that regenerates
+    the figures.  All generators are pure functions of their seed. *)
+
+(** {1 Workloads} *)
+
+type case = {
+  cname : string;
+  query_src : string;  (** the query's source text, for reporting *)
+  query : Query.t;
+  db : Database.t;
+}
+
+type t = {
+  wname : string;
+  cases : case list;
+}
+
+val make : name:string -> cases:case list -> t
+val name : t -> string
+val cases : t -> case list
+
+val case : name:string -> query_src:string -> db:Database.t -> case
+(** @raise Invalid_argument if the query source does not parse. *)
+
+val parse_result : string -> (t, string * int) result
+(** Parse the self-contained text format ([workload NAME] header, then
+    [case NAME] blocks with one [query ...] line and [endo]/[exo] fact
+    lines; ['#'] comments).  On error, the message and its 1-based line. *)
+
+val parse : string -> t
+(** @raise Invalid_argument on malformed input, with the line number. *)
+
+val load : string -> t
+(** Read a workload from a file path. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse} (facts are printed sorted). *)
+
+(** {1 Random generation} *)
 
 type rng
 

@@ -62,9 +62,10 @@ Errors are reported cleanly:
 
   $ ../../bin/svc_cli.exe classify "zzz: R(?x)"
   svc: internal error, uncaught exception:
-       Invalid_argument("Query_parse: unknown language tag \"zzz\"")
+       Invalid_argument("Query_parse: unknown language tag \"zzz\" at offset 0 (near token \"zzz\")")
        
   [125]
+
 
 Banzhaf values (the other power index):
 
@@ -112,3 +113,82 @@ Explain on an unsatisfied query:
   complexity of SVC: #P-hard — non-hierarchical sjf-CQ (Corollary 4.5 + [9])
   
   no minimal supports: the query is not satisfied.
+
+
+Static analysis: a non-hierarchical query draws a certified warning, which
+is fine by default but fails under --strict:
+
+  $ ../../bin/svc_cli.exe analyze --query "R(?x), S(?x,?y), T(?y)" --db demo.db
+  warning[Q003]: self-join-free CQ is not hierarchical: SVC is #P-hard (Corollary 4.5)
+      certificate: variables ?x/?y: S(?x,?y) covers both, R(?x) only ?x, T(?y) only ?y
+  
+  0 error(s), 1 warning(s), 0 hint(s)
+
+
+  $ ../../bin/svc_cli.exe analyze --query "R(?x), S(?x,?y), T(?y)" --strict
+  warning[Q003]: self-join-free CQ is not hierarchical: SVC is #P-hard (Corollary 4.5)
+      certificate: variables ?x/?y: S(?x,?y) covers both, R(?x) only ?x, T(?y) only ?y
+  
+  0 error(s), 1 warning(s), 0 hint(s)
+  [1]
+
+
+A hierarchical query over a matching database is clean:
+
+  $ ../../bin/svc_cli.exe analyze --query "R(?x), S(?x,?y)" --db demo.db --strict
+  0 error(s), 0 warning(s), 0 hint(s)
+
+Database-level diagnostics carry line spans and certificates:
+
+  $ cat > broken.db <<'DB'
+  > endo R(1)
+  > endo R(1,2)
+  > exo  R(1)
+  > endo S(4)
+  > endo S(4)
+  > DB
+  $ ../../bin/svc_cli.exe analyze --db broken.db
+  error[D102]: relation R is used at two different arities
+      certificate: R(1) vs R(1,2)
+  error[D103] 3:0: fact R(1) is declared both endogenous and exogenous
+      certificate: R(1) is both endogenous and exogenous
+  hint[D104] 5:0: duplicate endo fact S(4) (first on line 4)
+      certificate: S(4) on lines 4 and 5
+  
+  2 error(s), 0 warning(s), 1 hint(s)
+  [1]
+
+
+JSON output is machine-readable:
+
+  $ ../../bin/svc_cli.exe analyze --query "zzz: R(?x)" --format json
+  {"diagnostics":[{"code":"Q002","severity":"error","message":"unknown language tag \"zzz\" at offset 0 (near token \"zzz\")","span":{"line":1,"col":0,"len":3}}],"summary":{"errors":1,"warnings":0,"hints":0}}
+  [1]
+
+Workloads are vetted case by case:
+
+  $ cat > demo.workload <<'WL'
+  > workload demo
+  > case easy
+  > query R(?x), S(?x,?y)
+  > endo R(1)
+  > endo S(1,2)
+  > 
+  > case hard
+  > query R(?x), S(?x,?y), T(?y)
+  > endo R(1)
+  > endo S(1,2)
+  > exo  T(2)
+  > WL
+  $ ../../bin/svc_cli.exe analyze --workload demo.workload
+  warning[Q003]: case "hard": self-join-free CQ is not hierarchical: SVC is #P-hard (Corollary 4.5)
+      certificate: variables ?x/?y: S(?x,?y) covers both, R(?x) only ?x, T(?y) only ?y
+  
+  0 error(s), 1 warning(s), 0 hint(s)
+
+
+Calling analyze with nothing to analyze is an error:
+
+  $ ../../bin/svc_cli.exe analyze
+  svc analyze: nothing to analyze (give --query, --db and/or --workload)
+  [2]

@@ -28,6 +28,7 @@ let () =
       ("half-prob", Test_half.suite);
       ("io", Test_io.suite);
       ("workload", Test_workload.suite);
+      ("analysis", Test_analysis.suite);
       ("misc", Test_misc.suite);
       ("provenance", Test_provenance.suite);
       ("paper-lemmas", Test_paper_lemmas.suite);

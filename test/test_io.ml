@@ -22,6 +22,18 @@ let test_db_parse_errors () =
     (Invalid_argument "Db_text.parse_fact: empty argument in R(a,)") (fun () ->
         ignore (Db_text.parse_fact "R(a,)"))
 
+let test_db_parse_tabs_and_nullary () =
+  (* tab-separated tags and nullary facts are accepted *)
+  let db = Db_text.parse "endo\tR(a)\nexo\tS()\nendo P()\n" in
+  Alcotest.(check int) "two endo" 2 (Database.size_endo db);
+  Alcotest.(check bool) "tab endo" true (Database.mem_endo (fact "R" [ "a" ]) db);
+  Alcotest.(check bool) "nullary exo" true (Database.mem_exo (fact "S" []) db);
+  Alcotest.(check bool) "nullary endo" true (Database.mem_endo (fact "P" []) db);
+  Alcotest.(check string) "nullary prints" "P()" (Fact.to_string (Db_text.parse_fact "P()"));
+  Alcotest.check_raises "missing relation name"
+    (Invalid_argument "Db_text.parse_fact: missing relation name in (a)") (fun () ->
+        ignore (Db_text.parse_fact "(a)"))
+
 let test_db_roundtrip () =
   let db =
     Database.make
@@ -60,6 +72,7 @@ let suite =
   [
     Alcotest.test_case "database parsing" `Quick test_db_parse;
     Alcotest.test_case "parse errors" `Quick test_db_parse_errors;
+    Alcotest.test_case "tabs and nullary facts" `Quick test_db_parse_tabs_and_nullary;
     Alcotest.test_case "database roundtrip" `Quick test_db_roundtrip;
     Alcotest.test_case "query parsing" `Quick test_query_roundtrip;
     Alcotest.test_case "file loading" `Quick test_load_file;

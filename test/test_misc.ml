@@ -49,11 +49,11 @@ let test_query_printers () =
 
 let test_query_parse_errors () =
   Alcotest.check_raises "rpq with variables"
-    (Invalid_argument "Query_parse: RPQ endpoints must be constants") (fun () ->
-        ignore (Query_parse.parse "rpq: A(?x,t)"));
+    (Invalid_argument "Query_parse: RPQ endpoints must be constants at offset 5")
+    (fun () -> ignore (Query_parse.parse "rpq: A(?x,t)"));
   Alcotest.check_raises "rpq multi-atom"
-    (Invalid_argument "Query_parse: an RPQ is a single path atom") (fun () ->
-        ignore (Query_parse.parse "rpq: A(s,t), B(t,u)"))
+    (Invalid_argument "Query_parse: an RPQ is a single path atom at offset 5")
+    (fun () -> ignore (Query_parse.parse "rpq: A(s,t), B(t,u)"))
 
 let test_safety_wide_union_unknown () =
   (* more than 6 pairwise-overlapping disjuncts: inclusion–exclusion is cut

@@ -58,8 +58,19 @@ let test_query_parse () =
    | Query.Cqneg _ -> ()
    | _ -> Alcotest.fail "expected CQ¬");
   Alcotest.(check bool) "true" true (Query_parse.parse "true" = Query.True);
-  Alcotest.check_raises "bad tag" (Invalid_argument "Query_parse: unknown language tag \"zzz\"")
-    (fun () -> ignore (Query_parse.parse "zzz: R(?x)"))
+  Alcotest.check_raises "bad tag"
+    (Invalid_argument
+       "Query_parse: unknown language tag \"zzz\" at offset 0 (near token \"zzz\")")
+    (fun () -> ignore (Query_parse.parse "zzz: R(?x)"));
+  (match Query_parse.parse_result "zzz: R(?x)" with
+   | Error d ->
+     Alcotest.(check string) "diag code" "Q002" d.Query_parse.code;
+     Alcotest.(check int) "diag offset" 0 d.Query_parse.offset;
+     Alcotest.(check (option string)) "diag token" (Some "zzz") d.Query_parse.token
+   | Ok _ -> Alcotest.fail "expected a parse diagnostic");
+  (match Query_parse.parse_result "R(?x" with
+   | Error d -> Alcotest.(check string) "syntax code" "Q001" d.Query_parse.code
+   | Ok _ -> Alcotest.fail "expected a parse diagnostic")
 
 let test_minimal_supports_generic () =
   let q = Query_parse.parse "rpq: (AB)(s,t)" in

@@ -16,8 +16,10 @@ let test_atoms () =
   Alcotest.(check bool) "not ground" false (Atom.is_ground a);
   let g = Atom.apply (Term.Smap.singleton "x" (Term.const "d")) a in
   Alcotest.(check bool) "ground after apply" true (Atom.is_ground g);
-  Alcotest.check_raises "nullary" (Invalid_argument "Atom.make: atoms must have positive arity")
-    (fun () -> ignore (Atom.make "R" []))
+  let n = Atom.make "R" [] in
+  Alcotest.(check int) "nullary arity" 0 (Atom.arity n);
+  Alcotest.(check bool) "nullary ground" true (Atom.is_ground n);
+  Alcotest.(check string) "nullary fact" "R()" (Fact.to_string (Fact.make "R" []))
 
 let test_facts () =
   let f = fact "R" [ "a"; "b" ] in

@@ -62,8 +62,54 @@ let test_star_join () =
   Alcotest.(check bool) "satisfies" true
     (Query.holds (Query_parse.parse "R(?x), S(?x,?y)") db)
 
+let test_workload_parse () =
+  let src =
+    "workload demo\n\
+     case one\n\
+     query R(?x), S(?x,?y)\n\
+     endo R(a)\n\
+     endo S(a,b)\n\
+     exo  T(b)\n\n\
+     case two\n\
+     query rpq: (AB)(s,t)\n\
+     endo A(s,m)\n\
+     endo B(m,t)\n"
+  in
+  let w = Workload.parse src in
+  Alcotest.(check string) "name" "demo" (Workload.name w);
+  Alcotest.(check int) "cases" 2 (List.length (Workload.cases w));
+  let one = List.hd (Workload.cases w) in
+  Alcotest.(check string) "case name" "one" one.Workload.cname;
+  Alcotest.(check int) "case db" 3 (Database.size one.Workload.db);
+  Alcotest.(check bool) "case holds" true (Query.holds one.Workload.query one.Workload.db);
+  (* round-trip through the printer *)
+  let w' = Workload.parse (Workload.to_string w) in
+  Alcotest.(check int) "roundtrip cases" 2 (List.length (Workload.cases w'));
+  List.iter2
+    (fun (c : Workload.case) (c' : Workload.case) ->
+       Alcotest.(check string) "roundtrip name" c.Workload.cname c'.Workload.cname;
+       Alcotest.(check bool) "roundtrip db" true
+         (Database.equal c.Workload.db c'.Workload.db))
+    (Workload.cases w) (Workload.cases w')
+
+let test_workload_parse_errors () =
+  let err src = match Workload.parse_result src with
+    | Error (msg, line) -> (msg, line)
+    | Ok _ -> Alcotest.fail ("expected a parse error for: " ^ src)
+  in
+  Alcotest.(check int) "fact outside case" 1 (snd (err "endo R(a)\n"));
+  Alcotest.(check int) "unknown tag line" 2 (snd (err "workload w\nnonsense here\n"));
+  let msg, _ = err "case a\nquery R(?x\nendo R(1)\n" in
+  Alcotest.(check bool) "query error mentions the case" true
+    (String.length msg >= 8 && String.sub msg 0 8 = "case \"a\"");
+  (match err "case a\nendo R(1)\n" with
+   | msg, 1 -> Alcotest.(check string) "missing query" "case \"a\" has no query line" msg
+   | _, l -> Alcotest.failf "wrong line %d" l)
+
 let suite =
   [
+    Alcotest.test_case "workload parsing" `Quick test_workload_parse;
+    Alcotest.test_case "workload parse errors" `Quick test_workload_parse_errors;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "random databases" `Quick test_random_database;
