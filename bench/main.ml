@@ -29,6 +29,7 @@ let experiments : (string * (unit -> bool)) list =
     ("appd", Exp_variants.appendix_d ~rounds:8);
     ("exe1", Exp_discussion.exe1);
     ("scale", Exp_scale.scale);
+    ("engine", Exp_engine.engine);
     ("red_scale", Exp_scale.reduction_scaling);
     ("ablate_compile", Exp_scale.ablate_compile);
     ("ablate_poly", Exp_scale.ablate_poly);

@@ -40,6 +40,48 @@ let shapley_cmd =
   let doc = "Shapley value of every endogenous fact (SVC_q)." in
   Cmd.v (Cmd.info "shapley" ~doc) Term.(const run $ db_arg $ query_arg 1)
 
+(* ---------------- eval ---------------- *)
+
+let eval_cmd =
+  let stats_arg =
+    Arg.(value
+         & opt ~vopt:(Some `Text) (some (enum [ ("text", `Text); ("json", `Json) ])) None
+         & info [ "stats" ] ~docv:"FORMAT"
+             ~doc:"Print the engine's instrumentation record after the values \
+                   ($(b,--stats) for text, $(b,--stats=json) for one JSON line).")
+  in
+  let cache_arg =
+    Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Bound the shared memo cache to $(docv) entries.")
+  in
+  let run db_path query_str stats cache_capacity =
+    let db = load_db db_path in
+    let q = parse_query query_str in
+    let e = Engine.create ?cache_capacity q db in
+    let values = Engine.svc_all e in
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> Rational.compare b a) values
+    in
+    List.iter
+      (fun (f, v) ->
+         Printf.printf "%-30s %s  (≈ %.4f)\n" (Fact.to_string f) (Rational.to_string v)
+           (Rational.to_float v))
+      sorted;
+    let total = List.fold_left (fun acc (_, v) -> Rational.add acc v) Rational.zero values in
+    Printf.printf "sum: %s\n" (Rational.to_string total);
+    match stats with
+    | None -> ()
+    | Some `Text -> print_string (Stats.to_string (Engine.stats e))
+    | Some `Json -> print_endline (Stats.to_json (Engine.stats e))
+  in
+  let doc =
+    "Shapley value of every endogenous fact through the batched memoizing \
+     engine (one lineage compilation, per-fact conditioning), with optional \
+     instrumentation."
+  in
+  Cmd.v (Cmd.info "eval" ~doc)
+    Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg)
+
 (* ---------------- count ---------------- *)
 
 let count_cmd =
@@ -292,7 +334,7 @@ let main =
      (PODS 2024 reproduction)"
   in
   Cmd.group (Cmd.info "svc" ~version:"1.0.0" ~doc)
-    [ shapley_cmd; count_cmd; prob_cmd; classify_cmd; reduce_cmd; max_cmd;
-      banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd ]
+    [ shapley_cmd; eval_cmd; count_cmd; prob_cmd; classify_cmd; reduce_cmd;
+      max_cmd; banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

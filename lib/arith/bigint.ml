@@ -381,6 +381,20 @@ let factorial n =
   for i = 2 to n do acc := mul_int !acc i done;
   !acc
 
+let factorial_table n =
+  if n < 0 then invalid_arg "Bigint.factorial_table: negative argument";
+  let t = Array.make (n + 1) one in
+  for i = 2 to n do t.(i) <- mul_int t.(i - 1) i done;
+  t
+
+let binomial_row n =
+  if n < 0 then invalid_arg "Bigint.binomial_row: negative argument";
+  let t = Array.make (n + 1) one in
+  for k = 1 to n do
+    t.(k) <- divexact (mul_int t.(k - 1) (n - k + 1)) (of_int k)
+  done;
+  t
+
 let falling_factorial n k =
   if k < 0 then invalid_arg "Bigint.falling_factorial: negative k";
   let acc = ref one in

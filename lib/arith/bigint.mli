@@ -86,6 +86,16 @@ val gcd : t -> t -> t
 val factorial : int -> t
 (** [factorial n] is [n!]. @raise Invalid_argument on negative input. *)
 
+val factorial_table : int -> t array
+(** [factorial_table n] is [[| 0!; 1!; …; n! |]], built with one running
+    product — the shared table behind the Shapley coefficient loops, which
+    would otherwise recompute each factorial from scratch per term.
+    @raise Invalid_argument on negative input. *)
+
+val binomial_row : int -> t array
+(** [binomial_row n] is row [n] of Pascal's triangle,
+    [[| C(n,0); …; C(n,n) |]]. @raise Invalid_argument on negative input. *)
+
 val binomial : int -> int -> t
 (** [binomial n k] is [n choose k] ([zero] when [k < 0] or [k > n]). *)
 

@@ -1,6 +1,8 @@
-let fgmc_polynomial q db =
+let fgmc_polynomial_stats q db =
   let phi = Lineage.lineage q db in
-  Compile.size_polynomial ~universe:(Database.endo_list db) phi
+  Compile.size_polynomial_stats ~universe:(Database.endo_list db) phi
+
+let fgmc_polynomial q db = fst (fgmc_polynomial_stats q db)
 
 let fgmc q db n = Poly.Z.coeff (fgmc_polynomial q db) n
 let gmc q db = Poly.Z.total (fgmc_polynomial q db)

@@ -13,6 +13,10 @@
 val fgmc_polynomial : Query.t -> Database.t -> Poly.Z.t
 (** Coefficient [j] is [FGMC_q(D, j)]; lineage-based. *)
 
+val fgmc_polynomial_stats : Query.t -> Database.t -> Poly.Z.t * Compile.stats
+(** As {!fgmc_polynomial}, also reporting the compilation's memo-cache
+    counters. *)
+
 val fgmc : Query.t -> Database.t -> int -> Bigint.t
 val gmc : Query.t -> Database.t -> Bigint.t
 

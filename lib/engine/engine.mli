@@ -1,0 +1,65 @@
+(** Batched, memoizing SVC evaluation engine.
+
+    Computing all Shapley values of a database with per-fact {!Svc.svc}
+    does [2n] full lineage compilations of the same query.  This engine
+    compiles the lineage {e once} per (query, database) and derives each
+    fact's two FGMC generating polynomials from the shared compiled form:
+    [φ[μ:=1]] by {e conditioning} (exact because the size-generating
+    polynomial depends only on the Boolean function), and [φ[μ:=0]] for
+    free from the splitting identity
+    [C(φ) = z·C(φ[μ:=1]) + C(φ[μ:=0])] against the full count [C(φ)]
+    computed once.  Additionally:
+
+    - all conditioned sub-formulas memoized in one shared, bounded,
+      structurally-hashed cache ({!Compile.Memo}) — they overlap massively
+      across facts;
+    - the Shapley coefficients [j!(n-j-1)!/n!] read off a factorial table
+      precomputed once ({!Bigint.factorial_table}).
+
+    Every call is instrumented; see {!Stats}. *)
+
+type t
+(** A compiled engine for one (query, database) pair.  Mutable only in its
+    instrumentation and cache; all answers are deterministic. *)
+
+val create : ?cache_capacity:int -> Query.t -> Database.t -> t
+(** Compiles the lineage (the single compilation of the engine's life).
+    [cache_capacity] bounds the number of memoized sub-formulas (default
+    [2{^20}]; results past the bound are recomputed, never wrong). *)
+
+val query : t -> Query.t
+val database : t -> Database.t
+
+val lineage : t -> Bform.t
+(** The shared compiled lineage [φ]. *)
+
+val svc : t -> Fact.t -> Rational.t
+(** Shapley value by conditioning the shared lineage (Claim A.1).
+    @raise Invalid_argument if the fact is not endogenous. *)
+
+val svc_all : t -> (Fact.t * Rational.t) list
+(** Shapley values of all endogenous facts — one lineage compilation
+    total, [n + 1] conditioned counts against the shared cache (the full
+    polynomial once, then one conditioning per fact). *)
+
+val banzhaf : t -> Fact.t -> Rational.t
+(** Banzhaf value from the same conditioned polynomials (two GMC totals).
+    @raise Invalid_argument if the fact is not endogenous. *)
+
+val banzhaf_all : t -> (Fact.t * Rational.t) list
+
+val fgmc_polynomial : t -> Poly.Z.t
+(** The FGMC generating polynomial of the unconditioned lineage, through
+    the same shared cache. *)
+
+val stats : t -> Stats.t
+
+val shapley_of_polynomials :
+  factorials:Bigint.t array ->
+  with_mu_exo:Poly.Z.t ->
+  without_mu:Poly.Z.t ->
+  n:int ->
+  Rational.t
+(** The Claim A.1 arithmetic alone, against a caller-supplied factorial
+    table ([factorials.(i) = i!], length [> n]).
+    @raise Invalid_argument if the table is too small. *)

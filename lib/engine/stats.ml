@@ -1,0 +1,52 @@
+type t = {
+  players : int;
+  compilations : int;
+  conditionings : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  cache_capacity : int;
+  cache_drops : int;
+  poly_ops : int;
+  compile_s : float;
+  eval_s : float;
+}
+
+let zero =
+  { players = 0; compilations = 0; conditionings = 0; cache_hits = 0;
+    cache_misses = 0; cache_size = 0; cache_capacity = 0; cache_drops = 0;
+    poly_ops = 0; compile_s = 0.; eval_s = 0. }
+
+let ms s = s *. 1000.
+
+let capacity_string c = if c = max_int then "unbounded" else string_of_int c
+
+let to_string s =
+  String.concat ""
+    [
+      "engine stats:\n";
+      Printf.sprintf "  players       : %d\n" s.players;
+      Printf.sprintf "  compilations  : %d\n" s.compilations;
+      Printf.sprintf "  conditionings : %d\n" s.conditionings;
+      Printf.sprintf "  cache         : %d hits / %d misses / %d drops (%d entries, capacity %s)\n"
+        s.cache_hits s.cache_misses s.cache_drops s.cache_size
+        (capacity_string s.cache_capacity);
+      Printf.sprintf "  poly ops      : %d\n" s.poly_ops;
+      Printf.sprintf "  compile time  : %.2fms\n" (ms s.compile_s);
+      Printf.sprintf "  eval time     : %.2fms\n" (ms s.eval_s);
+    ]
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+(* Stable field names: consumed by BENCH_engine.json and the cram tests
+   (which mask only the two *_ms fields). *)
+let to_json s =
+  Printf.sprintf
+    "{\"players\":%d,\"compilations\":%d,\"conditionings\":%d,\
+     \"cache_hits\":%d,\"cache_misses\":%d,\"cache_size\":%d,\
+     \"cache_capacity\":%s,\"cache_drops\":%d,\"poly_ops\":%d,\
+     \"compile_ms\":%.3f,\"eval_ms\":%.3f}"
+    s.players s.compilations s.conditionings s.cache_hits s.cache_misses
+    s.cache_size
+    (if s.cache_capacity = max_int then "null" else string_of_int s.cache_capacity)
+    s.cache_drops s.poly_ops (ms s.compile_s) (ms s.eval_s)

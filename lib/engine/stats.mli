@@ -1,0 +1,44 @@
+(** Instrumentation record of a batched SVC {!Engine} run.
+
+    Counters:
+    - [compilations]: lineage compilations performed (the engine's whole
+      point is that this stays at [1] per (query, database));
+    - [conditionings]: size-polynomial evaluations against the shared
+      cache ([n + 1] for a full [svc_all]: the unconditioned polynomial
+      once, then [φ[μ:=1]] once per fact — [φ[μ:=0]] comes from the
+      splitting identity without a count);
+    - [cache_*]: the shared {!Compile.Memo} counters (hits, misses,
+      retained entries, capacity, results dropped at capacity);
+    - [poly_ops]: polynomial ring operations performed by the counter;
+    - [compile_s] / [eval_s]: wall-clock seconds per phase (lineage
+      compilation vs per-fact evaluation).
+
+    All counters are deterministic for a given (query, database); only the
+    two wall-clock fields vary between runs. *)
+
+type t = {
+  players : int;
+  compilations : int;
+  conditionings : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  cache_capacity : int;
+  cache_drops : int;
+  poly_ops : int;
+  compile_s : float;
+  eval_s : float;
+}
+
+val zero : t
+
+val to_string : t -> string
+(** Multi-line human-readable block (the [svc eval --stats] output). *)
+
+val to_json : t -> string
+(** One-line JSON object with stable field names ([players],
+    [compilations], [conditionings], [cache_hits], [cache_misses],
+    [cache_size], [cache_capacity] (JSON [null] when unbounded),
+    [cache_drops], [poly_ops], [compile_ms], [eval_ms]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -77,6 +77,22 @@ let rec size = function
 let compare = Stdlib.compare
 let equal a b = compare a b = 0
 
+(* Full structural hash (FNV-style mixing).  [Hashtbl.hash] stops after a
+   bounded number of meaningful nodes, so distinct large formulas collide
+   systematically; memo caches keyed on lineages need the whole structure
+   to contribute. *)
+let hash phi =
+  let mix h k = (h * 0x01000193) lxor (k land max_int) in
+  let rec go h = function
+    | True -> mix h 0x11
+    | False -> mix h 0x13
+    | Fv f -> mix (mix h 0x17) (Hashtbl.hash f)
+    | And parts -> List.fold_left go (mix h 0x1d) parts
+    | Or parts -> List.fold_left go (mix h 0x1f) parts
+    | Not phi -> go (mix h 0x25) phi
+  in
+  go 0x811c9dc5 phi land max_int
+
 let rec pp fmt = function
   | True -> Format.pp_print_string fmt "⊤"
   | False -> Format.pp_print_string fmt "⊥"

@@ -36,4 +36,10 @@ val size : t -> int
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash over the whole formula (unlike [Hashtbl.hash], which
+    truncates), compatible with {!equal}; non-negative.  Used to key memo
+    caches on conditioned lineages. *)
+
 val pp : Format.formatter -> t -> unit

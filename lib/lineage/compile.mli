@@ -17,6 +17,38 @@
 
 type stats = { cache_hits : int; cache_misses : int }
 
+(** A shareable, bounded memo cache for {!size_polynomial_with}.
+
+    Keys are the conditioned sub-formulas themselves, hashed structurally
+    ({!Bform.hash}); a cached polynomial counts over exactly [vars phi],
+    which makes one cache sound across any number of calls — in particular
+    across the per-fact conditionings of a batched SVC run.  At capacity,
+    new results are still computed and returned but not retained (counted
+    as [drops]), so a bound can never change an answer.  [poly_ops] counts
+    the polynomial ring operations performed by the counter. *)
+module Memo : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity: unbounded.
+      @raise Invalid_argument on negative capacity. *)
+
+  val length : t -> int
+  val capacity : t -> int
+  val hits : t -> int
+  val misses : t -> int
+  val drops : t -> int
+  val poly_ops : t -> int
+  val clear : t -> unit
+end
+
+val size_polynomial_with :
+  memo:Memo.t -> universe:Fact.t list -> Bform.t -> Poly.Z.t
+(** As {!size_polynomial}, but looking sub-results up in — and charging
+    instrumentation to — the given shared cache.
+    @raise Invalid_argument if the formula mentions a fact outside the
+    universe. *)
+
 val size_polynomial : universe:Fact.t list -> Bform.t -> Poly.Z.t
 (** @raise Invalid_argument if the formula mentions a fact outside the
     universe. *)

@@ -1,21 +1,8 @@
+(* The per-term [Bigint.factorial] calls this loop used to make are now a
+   single shared running-product table. *)
 let svc_from_polynomials ~with_mu_exo ~without_mu ~n =
-  let n_fact = Bigint.factorial n in
-  let term j =
-    let c_j =
-      Rational.make
-        (Bigint.mul (Bigint.factorial j) (Bigint.factorial (n - j - 1)))
-        n_fact
-    in
-    let delta =
-      Bigint.sub (Poly.Z.coeff with_mu_exo j) (Poly.Z.coeff without_mu j)
-    in
-    Rational.mul c_j (Rational.of_bigint delta)
-  in
-  let acc = ref Rational.zero in
-  for j = 0 to n - 1 do
-    acc := Rational.add !acc (term j)
-  done;
-  !acc
+  Engine.shapley_of_polynomials ~factorials:(Bigint.factorial_table n)
+    ~with_mu_exo ~without_mu ~n
 
 (* With SVC_DEBUG set (to anything but "" or "0"), entry points first vet
    the (query, database) pair through the static analyzer and refuse to
@@ -58,9 +45,13 @@ let svc_brute q db mu =
   Array.iteri (fun i f -> if Fact.equal f mu then idx := i) players;
   Game.shapley game !idx
 
+let svc_all_naive q db =
+  debug_check "Svc.svc_all_naive" q db;
+  List.map (fun f -> (f, svc_unchecked q db f)) (Database.endo_list db)
+
 let svc_all q db =
   debug_check "Svc.svc_all" q db;
-  List.map (fun f -> (f, svc_unchecked q db f)) (Database.endo_list db)
+  Engine.svc_all (Engine.create q db)
 
 let svc_hierarchical q db mu =
   if not (Database.mem_endo mu db) then

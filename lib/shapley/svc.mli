@@ -21,7 +21,14 @@ val svc_brute : Query.t -> Database.t -> Fact.t -> Rational.t
 (** @raise Invalid_argument if the fact is not endogenous. *)
 
 val svc_all : Query.t -> Database.t -> (Fact.t * Rational.t) list
-(** Shapley values of all endogenous facts (via {!svc}). *)
+(** Shapley values of all endogenous facts, through the batched
+    {!Engine}: one lineage compilation shared by all facts, each fact's
+    polynomials derived by conditioning against a shared memo cache. *)
+
+val svc_all_naive : Query.t -> Database.t -> (Fact.t * Rational.t) list
+(** The pre-engine path: an independent {!svc} call per fact, i.e. two
+    fresh lineage compilations each.  Kept as the differential-testing and
+    benchmarking baseline for {!svc_all}. *)
 
 val svc_hierarchical : Cq.t -> Database.t -> Fact.t -> Rational.t
 (** The FP side of the [11] dichotomy with a polynomial-time {e guarantee}:

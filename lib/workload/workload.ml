@@ -141,6 +141,23 @@ let load path =
   close_in ic;
   parse content
 
+(* ------------------------------------------------------------------ *)
+(* Evaluation: one batched engine per case                             *)
+(* ------------------------------------------------------------------ *)
+
+type case_result = {
+  rcase : case;
+  values : (Fact.t * Rational.t) list;
+  stats : Stats.t;
+}
+
+let eval_case ?cache_capacity (c : case) =
+  let e = Engine.create ?cache_capacity c.query c.db in
+  let values = Engine.svc_all e in
+  { rcase = c; values; stats = Engine.stats e }
+
+let eval ?cache_capacity w = List.map (eval_case ?cache_capacity) w.cases
+
 let to_string w =
   let buf = Buffer.create 256 in
   Buffer.add_string buf ("workload " ^ w.wname ^ "\n");

@@ -42,6 +42,21 @@ val load : string -> t
 val to_string : t -> string
 (** Round-trips through {!parse} (facts are printed sorted). *)
 
+(** {1 Evaluation}
+
+    Batch execution of a workload: every case runs through its own
+    {!Engine} (one lineage compilation per case, conditioned per fact),
+    and carries its instrumentation record home. *)
+
+type case_result = {
+  rcase : case;
+  values : (Fact.t * Rational.t) list;  (** Shapley value per endogenous fact *)
+  stats : Stats.t;
+}
+
+val eval_case : ?cache_capacity:int -> case -> case_result
+val eval : ?cache_capacity:int -> t -> case_result list
+
 (** {1 Random generation} *)
 
 type rng

@@ -17,6 +17,65 @@ Shapley values of all endogenous facts (sorted by value):
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
 
+The batched engine computes the same values through one shared lineage
+compilation:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)"
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+
+With --stats the instrumentation record follows (every counter is
+deterministic; only the wall-clock lines are masked):
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --stats \
+  >   | sed -e 's/time  *: .*/time  : [MASKED]/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  engine stats:
+    players       : 4
+    compilations  : 1
+    conditionings : 5
+    cache         : 5 hits / 11 misses / 0 drops (11 entries, capacity 1048576)
+    poly ops      : 36
+    compile time  : [MASKED]
+    eval time  : [MASKED]
+
+--stats=json emits one machine-readable line with stable field names:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --stats=json \
+  >   | sed -e 's/"compile_ms":[0-9.]*/"compile_ms":null/' \
+  >         -e 's/"eval_ms":[0-9.]*/"eval_ms":null/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  {"players":4,"compilations":1,"conditionings":5,"cache_hits":5,"cache_misses":11,"cache_size":11,"cache_capacity":1048576,"cache_drops":0,"poly_ops":36,"compile_ms":null,"eval_ms":null}
+
+A tiny cache bound changes the counters (drops appear), never the values:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --stats --cache-capacity 2 \
+  >   | sed -e 's/time  *: .*/time  : [MASKED]/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  engine stats:
+    players       : 4
+    compilations  : 1
+    conditionings : 5
+    cache         : 4 hits / 16 misses / 14 drops (2 entries, capacity 2)
+    poly ops      : 49
+    compile time  : [MASKED]
+    eval time  : [MASKED]
+
 The FGMC generating polynomial and total:
 
   $ ../../bin/svc_cli.exe count demo.db "R(?x), S(?x,?y), T(?y)"

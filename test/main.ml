@@ -19,6 +19,7 @@ let () =
       ("lifted", Test_lifted.suite);
       ("game", Test_game.suite);
       ("svc", Test_svc.suite);
+      ("engine", Test_engine.suite);
       ("reductions", Test_reductions.suite);
       ("fgmc-to-svc", Test_fgmc_to_svc.suite);
       ("variants", Test_variants.suite);

@@ -80,6 +80,39 @@ let test_factorial () =
       (Bigint.factorial n)
   done
 
+let test_factorial_table () =
+  (* exact pinned values for every n <= 12 (the int64-safe prefix) *)
+  let expected =
+    [ 1; 1; 2; 6; 24; 120; 720; 5040; 40320; 362880; 3628800; 39916800;
+      479001600 ]
+  in
+  let t = Bigint.factorial_table 12 in
+  Alcotest.(check int) "length" 13 (Array.length t);
+  List.iteri
+    (fun n e -> check_bigint (Printf.sprintf "%d! pinned" n) (b e) t.(n))
+    expected;
+  (* agreement with the one-shot function well past the pinned prefix *)
+  let t40 = Bigint.factorial_table 40 in
+  for n = 0 to 40 do
+    check_bigint (Printf.sprintf "table.(%d) = factorial %d" n n)
+      (Bigint.factorial n) t40.(n)
+  done;
+  Alcotest.(check int) "table 0" 1 (Array.length (Bigint.factorial_table 0));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bigint.factorial_table: negative argument") (fun () ->
+        ignore (Bigint.factorial_table (-1)))
+
+let test_binomial_row () =
+  let row = Bigint.binomial_row 60 in
+  Alcotest.(check int) "length" 61 (Array.length row);
+  for k = 0 to 60 do
+    check_bigint (Printf.sprintf "C(60,%d)" k) (Bigint.binomial 60 k) row.(k)
+  done;
+  check_bigint "row 0" Bigint.one (Bigint.binomial_row 0).(0);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bigint.binomial_row: negative argument") (fun () ->
+        ignore (Bigint.binomial_row (-1)))
+
 let test_binomial () =
   check_bigint "C(0,0)" Bigint.one (Bigint.binomial 0 0);
   check_bigint "C(5,2)" (b 10) (Bigint.binomial 5 2);
@@ -180,7 +213,9 @@ let suite =
     Alcotest.test_case "multiplication" `Quick test_multiplication;
     Alcotest.test_case "division" `Quick test_division;
     Alcotest.test_case "factorial" `Quick test_factorial;
+    Alcotest.test_case "factorial table" `Quick test_factorial_table;
     Alcotest.test_case "binomial" `Quick test_binomial;
+    Alcotest.test_case "binomial row" `Quick test_binomial_row;
     Alcotest.test_case "falling factorial" `Quick test_falling_factorial;
     Alcotest.test_case "pow" `Quick test_pow;
     Alcotest.test_case "gcd" `Quick test_gcd;

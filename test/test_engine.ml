@@ -1,0 +1,212 @@
+(* Differential property suite for the batched memoizing engine.
+
+   The engine must be observationally equivalent to the per-fact Claim A.1
+   path ([Svc.svc_all_naive]) and to raw Eq. 2 enumeration
+   ([Svc.svc_brute]) on every query class, and the classic Shapley axioms
+   must hold of its output.  On top of the differentials, the
+   instrumentation contract is pinned: one lineage compilation per
+   (query, database), n+1 conditioned counts per [svc_all], and a bounded
+   cache that drops rather than lies. *)
+
+open Test_util
+
+let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
+
+let values_equal v1 v2 =
+  List.length v1 = List.length v2
+  && List.for_all2
+       (fun (f1, x1) (f2, x2) -> Fact.equal f1 f2 && Rational.equal x1 x2)
+       v1 v2
+
+(* engine ≡ naive per-fact path ≡ brute force, across the query corpus *)
+let prop_engine_vs_naive =
+  qcheck ~count:300 "engine svc_all = naive = brute" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_case seed in
+       let e = Engine.create q db in
+       let batched = Engine.svc_all e in
+       values_equal batched (Svc.svc_all_naive q db)
+       && List.for_all
+            (fun (f, v) -> Rational.equal v (Svc.svc_brute q db f))
+            batched)
+
+let prop_engine_vs_naive_graph =
+  qcheck ~count:100 "engine on rpq graph instances" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_graph_case seed in
+       let e = Engine.create q db in
+       values_equal (Engine.svc_all e) (Svc.svc_all_naive q db))
+
+(* efficiency: the values sum to q(Dn ∪ Dx) − q(Dx) ∈ {0, 1} *)
+let prop_efficiency =
+  qcheck ~count:100 "efficiency axiom" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_case seed in
+       let e = Engine.create q db in
+       let total =
+         List.fold_left
+           (fun acc (_, v) -> Rational.add acc v)
+           Rational.zero (Engine.svc_all e)
+       in
+       let as01 b = if b then Rational.one else Rational.zero in
+       let full = as01 (Query.eval q (Database.all db)) in
+       let empty = as01 (Query.eval q (Database.exo db)) in
+       Rational.equal total (Rational.sub full empty))
+
+let prop_banzhaf =
+  qcheck ~count:50 "engine banzhaf = per-fact banzhaf" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_case seed in
+       let e = Engine.create q db in
+       values_equal (Engine.banzhaf_all e)
+         (List.map (fun f -> (f, Svc.banzhaf q db f)) (Database.endo_list db)))
+
+(* a bounded cache changes counters, never answers *)
+let prop_bounded_cache =
+  qcheck ~count:50 "tiny cache, same values" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_case seed in
+       let unbounded = Engine.create q db in
+       let bounded = Engine.create ~cache_capacity:2 q db in
+       let reference = Engine.svc_all unbounded in
+       let squeezed = Engine.svc_all bounded in
+       let s = Engine.stats bounded in
+       values_equal reference squeezed
+       && s.Stats.cache_size <= 2
+       && s.Stats.cache_capacity = 2)
+
+(* symmetry: the spokes of a star join are interchangeable, so they all
+   get the same Shapley value *)
+let test_symmetry () =
+  let db = Workload.star_join ~spokes:6 in
+  let q = Query_parse.parse "R(?x), S(?x,?y)" in
+  let e = Engine.create q db in
+  let spoke_values =
+    List.filter_map
+      (fun (f, v) -> if Fact.rel f = "S" then Some v else None)
+      (Engine.svc_all e)
+  in
+  (match spoke_values with
+   | [] -> Alcotest.fail "no spokes"
+   | v :: rest ->
+     List.iteri
+       (fun i v' -> check_rational (Printf.sprintf "spoke %d" (i + 1)) v v')
+       rest)
+
+(* null player: a fact whose relation the query never mentions *)
+let test_null_player () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ];
+              fact "Z" [ "9" ] ]
+      ~exo:[]
+  in
+  let e = Engine.create qrst db in
+  check_rational "null player value" Rational.zero
+    (Engine.svc e (fact "Z" [ "9" ]))
+
+(* the whole point: exactly one compilation per (query, database), and
+   n+1 conditioned counts for a full svc_all *)
+let test_single_compilation () =
+  let db = Workload.star_join ~spokes:8 in
+  let q = Query_parse.parse "R(?x), S(?x,?y)" in
+  let e = Engine.create q db in
+  ignore (Engine.svc_all e);
+  let s = Engine.stats e in
+  let n = Database.size_endo db in
+  Alcotest.(check int) "players" n s.Stats.players;
+  Alcotest.(check int) "one compilation" 1 s.Stats.compilations;
+  Alcotest.(check int) "n+1 conditioned counts" (n + 1) s.Stats.conditionings;
+  Alcotest.(check bool) "cache was useful" true (s.Stats.cache_misses > 0);
+  Alcotest.(check int) "nothing dropped" 0 s.Stats.cache_drops;
+  (* a second full pass recompiles nothing and re-counts nothing new *)
+  ignore (Engine.svc_all e);
+  let s2 = Engine.stats e in
+  Alcotest.(check int) "still one compilation" 1 s2.Stats.compilations;
+  Alcotest.(check int) "no new misses" s.Stats.cache_misses s2.Stats.cache_misses
+
+let test_bounded_cache_drops () =
+  let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
+  let bounded = Engine.create ~cache_capacity:4 qrst db in
+  let unbounded = Engine.create qrst db in
+  Alcotest.(check bool) "same values" true
+    (values_equal (Engine.svc_all bounded) (Engine.svc_all unbounded));
+  let s = Engine.stats bounded in
+  Alcotest.(check bool) "drops happened" true (s.Stats.cache_drops > 0);
+  Alcotest.(check bool) "size bounded" true (s.Stats.cache_size <= 4)
+
+(* the shared memo is reusable across independent counts: the second
+   evaluation of the same formula is a single top-level hit *)
+let test_memo_reuse () =
+  let db =
+    Database.make
+      ~endo:[ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ];
+              fact "S" [ "1"; "3" ] ]
+      ~exo:[ fact "T" [ "3" ] ]
+  in
+  let phi = Lineage.lineage qrst db in
+  let universe = Database.endo_list db in
+  let memo = Compile.Memo.create () in
+  let p1 = Compile.size_polynomial_with ~memo ~universe phi in
+  let misses = Compile.Memo.misses memo in
+  let hits = Compile.Memo.hits memo in
+  let p2 = Compile.size_polynomial_with ~memo ~universe phi in
+  check_zpoly "same polynomial" p1 p2;
+  Alcotest.(check int) "no new misses" misses (Compile.Memo.misses memo);
+  Alcotest.(check bool) "pure hit" true (Compile.Memo.hits memo > hits)
+
+let test_engine_guards () =
+  let db = Database.make ~endo:[ fact "R" [ "1" ] ] ~exo:[ fact "T" [ "2" ] ] in
+  let e = Engine.create qrst db in
+  Alcotest.check_raises "not endogenous"
+    (Invalid_argument "Engine.svc: fact is not endogenous") (fun () ->
+        ignore (Engine.svc e (fact "T" [ "2" ])));
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Compile.Memo.create: negative capacity") (fun () ->
+        ignore (Engine.create ~cache_capacity:(-1) qrst db))
+
+(* the engine's fgmc polynomial is the plain model-counting one *)
+let test_fgmc_polynomial () =
+  let db = Gen.random_db 3 in
+  let e = Engine.create qrst db in
+  check_zpoly "fgmc via engine"
+    (Model_counting.fgmc_polynomial qrst db)
+    (Engine.fgmc_polynomial e)
+
+(* Workload evaluation rides through the engine *)
+let test_workload_eval () =
+  let w =
+    Workload.make ~name:"engine-test"
+      ~cases:
+        [ Workload.case ~name:"star" ~query_src:"R(?x), S(?x,?y)"
+            ~db:(Workload.star_join ~spokes:3) ]
+  in
+  match Workload.eval w with
+  | [ r ] ->
+    Alcotest.(check int) "one compilation" 1 r.Workload.stats.Stats.compilations;
+    let total =
+      List.fold_left
+        (fun acc (_, v) -> Rational.add acc v)
+        Rational.zero r.Workload.values
+    in
+    check_rational "efficiency" Rational.one total
+  | _ -> Alcotest.fail "expected one case result"
+
+let suite =
+  [
+    prop_engine_vs_naive;
+    prop_engine_vs_naive_graph;
+    prop_efficiency;
+    prop_banzhaf;
+    prop_bounded_cache;
+    Alcotest.test_case "symmetry on star spokes" `Quick test_symmetry;
+    Alcotest.test_case "null player" `Quick test_null_player;
+    Alcotest.test_case "single compilation + counter contract" `Quick
+      test_single_compilation;
+    Alcotest.test_case "bounded cache drops, never lies" `Quick
+      test_bounded_cache_drops;
+    Alcotest.test_case "memo reuse across counts" `Quick test_memo_reuse;
+    Alcotest.test_case "guards" `Quick test_engine_guards;
+    Alcotest.test_case "fgmc polynomial" `Quick test_fgmc_polynomial;
+    Alcotest.test_case "workload eval stats" `Quick test_workload_eval;
+  ]

@@ -58,24 +58,10 @@ let universes =
         fact "T" [ "3"; "3" ] ] );
   ]
 
-(* enumerate all assignments of the universe facts to {absent, endo, exo} *)
-let iter_databases facts yield =
-  let arr = Array.of_list facts in
-  let n = Array.length arr in
-  let rec go i endo exo =
-    if i = n then yield (Database.of_sets ~endo ~exo)
-    else begin
-      go (i + 1) endo exo;
-      go (i + 1) (Fact.Set.add arr.(i) endo) exo;
-      go (i + 1) endo (Fact.Set.add arr.(i) exo)
-    end
-  in
-  go 0 Fact.Set.empty Fact.Set.empty
-
 let sweep_counting (name, q, universe) =
   Alcotest.test_case (name ^ ": FGMC on all databases") `Slow (fun () ->
       let checked = ref 0 in
-      iter_databases universe (fun db ->
+      Gen.iter_databases universe (fun db ->
           incr checked;
           if not (fgmc_agree q db) then
             Alcotest.failf "FGMC mismatch on %s" (Format.asprintf "%a" Database.pp db));
@@ -86,7 +72,7 @@ let sweep_counting (name, q, universe) =
 
 let sweep_svc (name, q, universe) =
   Alcotest.test_case (name ^ ": SVC on all databases") `Slow (fun () ->
-      iter_databases universe (fun db ->
+      Gen.iter_databases universe (fun db ->
           match Database.endo_list db with
           | [] -> ()
           | mu :: _ ->
@@ -98,7 +84,7 @@ let sweep_svc (name, q, universe) =
 let sweep_sppqe (name, q, universe) =
   Alcotest.test_case (name ^ ": SPPQE on all databases") `Slow (fun () ->
       let p = Rational.of_ints 1 3 in
-      iter_databases universe (fun db ->
+      Gen.iter_databases universe (fun db ->
           let v1 = Pqe.sppqe q db p in
           let v2 = Pqe.pqe_brute q (Prob_db.uniform db p) in
           if not (Rational.equal v1 v2) then
@@ -112,7 +98,7 @@ let sweep_lemma41 =
       let universe =
         [ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "T" [ "1" ] ]
       in
-      iter_databases universe (fun db ->
+      Gen.iter_databases universe (fun db ->
           match Fgmc_to_svc.lemma41_auto ~svc:(Oracle.svc_of q) ~query:q db with
           | Some poly ->
             if not (Poly.Z.equal poly (Model_counting.fgmc_polynomial q db)) then

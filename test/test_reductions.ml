@@ -4,14 +4,6 @@ open Test_util
 
 let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
 
-let random_db seed =
-  let r = Workload.rng seed in
-  Workload.random_database r
-    ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
-    ~consts:[ "1"; "2"; "3" ]
-    ~n_endo:(1 + Workload.int r 5)
-    ~n_exo:(Workload.int r 3)
-
 let test_svc_via_fgmc_calls () =
   (* Claim A.1 makes exactly 2n calls for a database with n endogenous facts *)
   let db =
@@ -25,7 +17,7 @@ let test_svc_via_fgmc_calls () =
   Alcotest.(check int) "2n oracle calls" 8 (Oracle.calls fgmc)
 
 let test_fgmc_via_sppqe_calls () =
-  let db = random_db 42 in
+  let db = Gen.random_db 42 in
   let n = Database.size_endo db in
   let sppqe = Oracle.sppqe_of qrst in
   let poly = Fgmc_sppqe.fgmc_via_sppqe ~sppqe db in
@@ -33,7 +25,7 @@ let test_fgmc_via_sppqe_calls () =
   Alcotest.(check int) "n+1 oracle calls" (n + 1) (Oracle.calls sppqe)
 
 let test_sppqe_via_fgmc () =
-  let db = random_db 7 in
+  let db = Gen.random_db 7 in
   let fgmc = Oracle.fgmc_brute_of qrst in
   let p = Rational.of_ints 3 7 in
   check_rational "probability" (Pqe.sppqe qrst db p)
@@ -78,9 +70,9 @@ let test_endo_only_wrapper () =
   ignore (Oracle.call o (db, fact "R" [ "1" ]))
 
 let prop_svc_via_fgmc =
-  qcheck ~count:40 "Claim A.1 on random instances" QCheck2.Gen.(int_range 0 1000000)
+  qcheck ~count:40 "Claim A.1 on random instances" Gen.seed_gen
     (fun seed ->
-       let db = random_db seed in
+       let db = Gen.random_db seed in
        match Database.endo_list db with
        | [] -> true
        | mu :: _ ->
@@ -89,19 +81,19 @@ let prop_svc_via_fgmc =
            (Svc.svc_brute qrst db mu))
 
 let prop_fgmc_via_sppqe =
-  qcheck ~count:30 "Claim A.2 Vandermonde inversion" QCheck2.Gen.(int_range 0 1000000)
+  qcheck ~count:30 "Claim A.2 Vandermonde inversion" Gen.seed_gen
     (fun seed ->
-       let db = random_db seed in
+       let db = Gen.random_db seed in
        Poly.Z.equal
          (Fgmc_sppqe.fgmc_via_sppqe ~sppqe:(Oracle.sppqe_of qrst) db)
          (Model_counting.fgmc_polynomial qrst db))
 
 let prop_roundtrip_composition =
-  qcheck ~count:20 "SVC → FGMC → SPPQE composition" QCheck2.Gen.(int_range 0 1000000)
+  qcheck ~count:20 "SVC → FGMC → SPPQE composition" Gen.seed_gen
     (fun seed ->
        (* compute SVC where the FGMC oracle is itself implemented through
           SPPQE: two reduction layers composed *)
-       let db = random_db seed in
+       let db = Gen.random_db seed in
        match Database.endo_list db with
        | [] -> true
        | mu :: _ ->

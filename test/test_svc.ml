@@ -110,24 +110,16 @@ let test_const_counting () =
     (Invalid_argument "Const_svc.fmc_const_polynomial: instance has exogenous constants")
     (fun () -> ignore (Const_svc.fmc_const_polynomial q inst))
 
-let random_db seed =
-  let r = Workload.rng seed in
-  Workload.random_database r
-    ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
-    ~consts:[ "1"; "2"; "3" ]
-    ~n_endo:(1 + Workload.int r 5)
-    ~n_exo:(Workload.int r 3)
-
 let prop_svc_vs_brute =
-  qcheck ~count:40 "SVC via FGMC = brute Eq.2" QCheck2.Gen.(int_range 0 1000000)
+  qcheck ~count:40 "SVC via FGMC = brute Eq.2" Gen.seed_gen
     (fun seed ->
-       let db = random_db seed in
+       let db = Gen.random_db seed in
        List.for_all
          (fun f -> Rational.equal (Svc.svc qrst db f) (Svc.svc_brute qrst db f))
          (Database.endo_list db))
 
 let prop_const_svc_efficiency =
-  qcheck ~count:30 "constants game efficiency" QCheck2.Gen.(int_range 0 1000000)
+  qcheck ~count:30 "constants game efficiency" Gen.seed_gen
     (fun seed ->
        let r = Workload.rng seed in
        let db =
@@ -172,9 +164,9 @@ let test_banzhaf_counting () =
     (Database.endo_list db)
 
 let prop_banzhaf_vs_brute =
-  qcheck ~count:30 "Banzhaf via GMC = brute" QCheck2.Gen.(int_range 0 1000000)
+  qcheck ~count:30 "Banzhaf via GMC = brute" Gen.seed_gen
     (fun seed ->
-       let db = random_db seed in
+       let db = Gen.random_db seed in
        List.for_all
          (fun f -> Rational.equal (Svc.banzhaf qrst db f) (Svc.banzhaf_brute qrst db f))
          (Database.endo_list db))
