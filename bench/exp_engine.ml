@@ -38,12 +38,12 @@ let write_json ~path entries ~pass =
        (String.concat "," (List.map json_of_entry entries)));
   close_out oc
 
-let run_instance ~family q db =
+let run_instance ~jobs ~family q db =
   let n = Database.size_endo db in
   let naive, naive_s = Report.time_it (fun () -> Svc.svc_all_naive q db) in
   let (e, batched), engine_s =
     Report.time_it (fun () ->
-        let e = Engine.create q db in
+        let e = Engine.create ~jobs q db in
         (e, Engine.svc_all e))
   in
   let agree =
@@ -60,9 +60,11 @@ let run_instance ~family q db =
   ( { family; n_endo = n; naive_s; engine_s; stats },
     agree && stats.Stats.compilations = 1 )
 
-let engine () =
+let engine ?(jobs = 1) () =
   Report.heading "ENGINE"
-    "Batched memoizing SVC engine vs per-fact svc_all_naive (emits BENCH_engine.json)";
+    (Printf.sprintf
+       "Batched memoizing SVC engine (jobs=%d) vs per-fact svc_all_naive \
+        (emits BENCH_engine.json)" jobs);
   let cap = cap () in
   let q_safe = Query_parse.parse "R(?x), S(?x,?y)" in
   let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)" in
@@ -82,7 +84,9 @@ let engine () =
            else None)
         [ 2; 3; 4; 5 ]
   in
-  let results = List.map (fun (f, q, db) -> run_instance ~family:f q db) instances in
+  let results =
+    List.map (fun (f, q, db) -> run_instance ~jobs ~family:f q db) instances
+  in
   let entries = List.map fst results in
   let all_ok = List.for_all snd results in
   Report.table

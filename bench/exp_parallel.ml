@@ -1,0 +1,150 @@
+(* PARALLEL: the multicore fan-out engine vs the serial batched engine,
+   on the SCALE instance families.  Emits BENCH_parallel.json (uploaded
+   by the CI bench-smoke job) and validates that for every instance
+
+   (a) jobs ∈ {2, 4} produce exactly the serial values in the serial
+       order (the deterministic-merge contract), and
+   (b) two jobs=4 runs are identical, values and normalized stats alike.
+
+   The wall-clock gate — >= 1.8x speedup at 4 domains over jobs=1 on the
+   largest instance, eval phase (the fan-out is the subject; lineage
+   compilation is the same serial prefix at every jobs count) — is only
+   enforceable where 4 domains can actually run in parallel, so it is
+   skipped on hosts with fewer than 4 cores and on capped smoke runs
+   (BENCH_PARALLEL_CAP bounds |Dn|, as BENCH_ENGINE_CAP does for the
+   engine experiment); correctness checks always run. *)
+
+let speedup_target = 1.8
+
+let cap () =
+  match Sys.getenv_opt "BENCH_PARALLEL_CAP" with
+  | None | Some "" -> max_int
+  | Some s -> (try int_of_string s with Failure _ -> max_int)
+
+type entry = {
+  family : string;
+  n_endo : int;
+  serial_s : float;
+  par2_s : float;
+  par4_s : float;
+  par4_stats : Stats.t;
+}
+
+let json_of_entry e =
+  Printf.sprintf
+    "{\"family\":%S,\"n_endo\":%d,\"serial_ms\":%.3f,\"par2_ms\":%.3f,\
+     \"par4_ms\":%.3f,\"speedup2\":%.2f,\"speedup4\":%.2f,\"par4_stats\":%s}"
+    e.family e.n_endo (e.serial_s *. 1000.) (e.par2_s *. 1000.)
+    (e.par4_s *. 1000.) (e.serial_s /. e.par2_s) (e.serial_s /. e.par4_s)
+    (Stats.to_json e.par4_stats)
+
+let write_json ~path entries ~gate ~pass =
+  let oc = open_out path in
+  output_string oc
+    (Printf.sprintf
+       "{\"experiment\":\"parallel\",\"host_domains\":%d,\"cap\":%s,\
+        \"speedup_target\":%.1f,\"gate\":%S,\"pass\":%b,\"entries\":[%s]}\n"
+       (Pool.recommended_domains ())
+       (let c = cap () in if c = max_int then "null" else string_of_int c)
+       speedup_target gate pass
+       (String.concat "," (List.map json_of_entry entries)));
+  close_out oc
+
+let values_equal v1 v2 =
+  List.length v1 = List.length v2
+  && List.for_all2
+       (fun (f1, x1) (f2, x2) -> Fact.equal f1 f2 && Rational.equal x1 x2)
+       v1 v2
+
+(* Time the batched evaluation phase at a given jobs count; the engine is
+   created (and the lineage compiled) outside the timer. *)
+let timed_eval ~jobs q db =
+  let e = Engine.create ~jobs q db in
+  let (values, s) = Report.time_it (fun () -> Engine.svc_all e) in
+  (values, Engine.stats e, s)
+
+let run_instance ~family q db =
+  let n = Database.size_endo db in
+  let serial_v, _, serial_s = timed_eval ~jobs:1 q db in
+  let par2_v, _, par2_s = timed_eval ~jobs:2 q db in
+  let par4_v, par4_stats, par4_s = timed_eval ~jobs:4 q db in
+  let rerun_v, rerun_stats, _ = timed_eval ~jobs:4 q db in
+  let agree = values_equal serial_v par2_v && values_equal serial_v par4_v in
+  let deterministic =
+    values_equal par4_v rerun_v
+    && Stats.normalize par4_stats = Stats.normalize rerun_stats
+  in
+  if not agree then
+    Printf.printf "!! %s n=%d: parallel/serial value MISMATCH\n" family n;
+  if not deterministic then
+    Printf.printf "!! %s n=%d: jobs=4 rerun NOT deterministic\n" family n;
+  ( { family; n_endo = n; serial_s; par2_s; par4_s; par4_stats },
+    agree && deterministic )
+
+let parallel () =
+  Report.heading "PARALLEL"
+    "Multicore fan-out engine: jobs 1 vs 2 vs 4 (emits BENCH_parallel.json)";
+  let cap = cap () in
+  let q_safe = Query_parse.parse "R(?x), S(?x,?y)" in
+  let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)" in
+  let instances =
+    List.filter_map
+      (fun spokes ->
+         let db = Workload.star_join ~spokes in
+         if Database.size_endo db <= cap then
+           Some ("safe R(x),S(x,y) [star]", q_safe, db)
+         else None)
+      [ 16; 32; 64; 96 ]
+    @ List.filter_map
+        (fun rows ->
+           let db = Workload.rst_gadget ~complete:true ~rows ~extra_exo:false () in
+           if Database.size_endo db <= cap then
+             Some ("unsafe q_RST [bipartite]", qrst, db)
+           else None)
+        [ 3; 4; 5 ]
+  in
+  let results = List.map (fun (f, q, db) -> run_instance ~family:f q db) instances in
+  let entries = List.map fst results in
+  let all_ok = List.for_all snd results in
+  Report.table
+    ~headers:[ "query [instance family]"; "|Dn|"; "jobs=1"; "jobs=2"; "jobs=4";
+               "speedup@4"; "par cache hits/misses" ]
+    (List.map
+       (fun e ->
+          [ e.family; string_of_int e.n_endo; Report.ms e.serial_s;
+            Report.ms e.par2_s; Report.ms e.par4_s;
+            Printf.sprintf "%.1fx" (e.serial_s /. e.par4_s);
+            Printf.sprintf "%d/%d" (Stats.par_hits e.par4_stats)
+              (Stats.par_misses e.par4_stats) ])
+       entries);
+  let host = Pool.recommended_domains () in
+  let gate =
+    if cap <> max_int then "skipped (capped smoke run)"
+    else if host < 4 then
+      Printf.sprintf "skipped (host has %d domain(s), need 4)" host
+    else "enforced"
+  in
+  let largest =
+    List.fold_left
+      (fun best e ->
+         match best with
+         | Some b when b.n_endo >= e.n_endo -> best
+         | _ -> Some e)
+      None entries
+  in
+  let speedup_ok =
+    match largest with
+    | None -> false
+    | Some e ->
+      let s = e.serial_s /. e.par4_s in
+      Printf.printf
+        "Largest size |Dn|=%d (%s): %.1fx speedup at 4 domains (target: >= %.1fx) — %s\n"
+        e.n_endo e.family s speedup_target
+        (if gate = "enforced" then Report.ok (s >= speedup_target)
+         else "gate " ^ gate);
+      s >= speedup_target
+  in
+  let pass = all_ok && (speedup_ok || gate <> "enforced") in
+  write_json ~path:"BENCH_parallel.json" entries ~gate ~pass;
+  Printf.printf "Wrote BENCH_parallel.json (%d entries).\n" (List.length entries);
+  pass

@@ -6,11 +6,12 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig1a   # a single experiment
-     dune exec bench/main.exe -- --list  # available experiment ids *)
+     dune exec bench/main.exe -- --list  # available experiment ids
+     dune exec bench/main.exe -- --jobs 4 engine   # engine on 4 domains *)
 
 let rounds = 12
 
-let experiments : (string * (unit -> bool)) list =
+let experiments ~jobs : (string * (unit -> bool)) list =
   [
     ("fig1a", Exp_fig1.fig1a ~rounds);
     ("fig1b", Exp_fig1.fig1b);
@@ -29,7 +30,8 @@ let experiments : (string * (unit -> bool)) list =
     ("appd", Exp_variants.appendix_d ~rounds:8);
     ("exe1", Exp_discussion.exe1);
     ("scale", Exp_scale.scale);
-    ("engine", Exp_engine.engine);
+    ("engine", Exp_engine.engine ~jobs);
+    ("parallel", Exp_parallel.parallel);
     ("red_scale", Exp_scale.reduction_scaling);
     ("ablate_compile", Exp_scale.ablate_compile);
     ("ablate_poly", Exp_scale.ablate_poly);
@@ -41,6 +43,23 @@ let experiments : (string * (unit -> bool)) list =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --jobs N applies to the experiments that evaluate through the batched
+     engine (currently: engine); 0 = one domain per available core. *)
+  let rec extract_jobs acc = function
+    | [] -> (List.rev acc, 1)
+    | "--jobs" :: n :: rest ->
+      let jobs =
+        match int_of_string_opt n with
+        | Some j when j >= 0 -> if j = 0 then Pool.recommended_domains () else j
+        | _ ->
+          Printf.eprintf "bench: --jobs needs an integer >= 0, got %S\n" n;
+          exit 2
+      in
+      (List.rev_append acc rest, jobs)
+    | a :: rest -> extract_jobs (a :: acc) rest
+  in
+  let args, jobs = extract_jobs [] args in
+  let experiments = experiments ~jobs in
   match args with
   | [ "--list" ] ->
     List.iter (fun (id, _) -> print_endline id) experiments

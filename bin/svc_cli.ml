@@ -54,10 +54,20 @@ let eval_cmd =
     Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"N"
            ~doc:"Bound the shared memo cache to $(docv) entries.")
   in
-  let run db_path query_str stats cache_capacity =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Evaluate facts on $(docv) parallel domains (default 1 = \
+                 serial, 0 = one per available core).  Values and order are \
+                 identical for every $(docv).")
+  in
+  let run db_path query_str stats cache_capacity jobs =
+    if jobs < 0 then begin
+      Printf.eprintf "svc eval: --jobs must be >= 0 (got %d)\n" jobs;
+      exit 2
+    end;
     let db = load_db db_path in
     let q = parse_query query_str in
-    let e = Engine.create ?cache_capacity q db in
+    let e = Engine.create ?cache_capacity ~jobs q db in
     let values = Engine.svc_all e in
     let sorted =
       List.sort (fun (_, a) (_, b) -> Rational.compare b a) values
@@ -80,7 +90,7 @@ let eval_cmd =
      instrumentation."
   in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg)
+    Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg $ jobs_arg)
 
 (* ---------------- count ---------------- *)
 

@@ -16,19 +16,46 @@
     - the Shapley coefficients [j!(n-j-1)!/n!] read off a factorial table
       precomputed once ({!Bigint.factorial_table}).
 
+    {2 Parallelism}
+
+    The per-fact conditioning step is embarrassingly parallel — every
+    fact's polynomial reads only the shared immutable lineage and the
+    full count — so at [jobs > 1] the batched entry points
+    ({!svc_all}, {!banzhaf_all}) fan it out across [jobs] stdlib domains
+    through {!Pool}.
+
+    {b Cache-ownership invariant:} a {!Compile.Memo} is an
+    unsynchronized [Hashtbl] and must never be mutated from two domains.
+    The engine's own shared cache is therefore used only from the
+    calling domain (the serial path, the full polynomial, per-fact
+    {!svc}/{!banzhaf} calls); a parallel batched run gives each worker
+    slot a {e private} cache of the same capacity, created and dropped
+    inside the run.  Worker slots own static slices of the fact array
+    ([slot i] evaluates facts [i·n/jobs, (i+1)·n/jobs)) and each result
+    is written back at the fact's original index, so output order and
+    values are bit-identical for every [jobs] — only wall clock and the
+    scheduling counters ({!Stats.domain_stat}) can differ.
+
     Every call is instrumented; see {!Stats}. *)
 
 type t
 (** A compiled engine for one (query, database) pair.  Mutable only in its
     instrumentation and cache; all answers are deterministic. *)
 
-val create : ?cache_capacity:int -> Query.t -> Database.t -> t
+val create : ?cache_capacity:int -> ?jobs:int -> Query.t -> Database.t -> t
 (** Compiles the lineage (the single compilation of the engine's life).
     [cache_capacity] bounds the number of memoized sub-formulas (default
-    [2{^20}]; results past the bound are recomputed, never wrong). *)
+    [2{^20}]; results past the bound are recomputed, never wrong).
+    [jobs] sets the worker-domain count for batched runs: default [1]
+    (fully serial, no domain ever spawned), [0] resolves to
+    {!Pool.recommended_domains}.
+    @raise Invalid_argument if [jobs < 0]. *)
 
 val query : t -> Query.t
 val database : t -> Database.t
+
+val jobs : t -> int
+(** The resolved worker count ([>= 1]). *)
 
 val lineage : t -> Bform.t
 (** The shared compiled lineage [φ]. *)
@@ -39,8 +66,10 @@ val svc : t -> Fact.t -> Rational.t
 
 val svc_all : t -> (Fact.t * Rational.t) list
 (** Shapley values of all endogenous facts — one lineage compilation
-    total, [n + 1] conditioned counts against the shared cache (the full
-    polynomial once, then one conditioning per fact). *)
+    total, [n + 1] conditioned counts (the full polynomial once, then one
+    conditioning per fact).  At [jobs > 1] the per-fact conditionings run
+    on [jobs] domains with private caches and a deterministic merge; the
+    result is identical to the [jobs = 1] output, in the same order. *)
 
 val banzhaf : t -> Fact.t -> Rational.t
 (** Banzhaf value from the same conditioned polynomials (two GMC totals).

@@ -1,3 +1,10 @@
+type domain_stat = {
+  d_facts : int;
+  d_hits : int;
+  d_misses : int;
+  d_steals : int;
+}
+
 type t = {
   players : int;
   compilations : int;
@@ -8,6 +15,8 @@ type t = {
   cache_capacity : int;
   cache_drops : int;
   poly_ops : int;
+  jobs : int;
+  domains : domain_stat array;
   compile_s : float;
   eval_s : float;
 }
@@ -15,7 +24,21 @@ type t = {
 let zero =
   { players = 0; compilations = 0; conditionings = 0; cache_hits = 0;
     cache_misses = 0; cache_size = 0; cache_capacity = 0; cache_drops = 0;
-    poly_ops = 0; compile_s = 0.; eval_s = 0. }
+    poly_ops = 0; jobs = 1; domains = [||]; compile_s = 0.; eval_s = 0. }
+
+let sum_domains proj s = Array.fold_left (fun acc d -> acc + proj d) 0 s.domains
+let par_facts s = sum_domains (fun d -> d.d_facts) s
+let par_hits s = sum_domains (fun d -> d.d_hits) s
+let par_misses s = sum_domains (fun d -> d.d_misses) s
+let par_steals s = sum_domains (fun d -> d.d_steals) s
+
+let normalize s =
+  {
+    s with
+    compile_s = 0.;
+    eval_s = 0.;
+    domains = Array.map (fun d -> { d with d_steals = 0 }) s.domains;
+  }
 
 let ms s = s *. 1000.
 
@@ -23,30 +46,45 @@ let capacity_string c = if c = max_int then "unbounded" else string_of_int c
 
 let to_string s =
   String.concat ""
-    [
-      "engine stats:\n";
-      Printf.sprintf "  players       : %d\n" s.players;
-      Printf.sprintf "  compilations  : %d\n" s.compilations;
-      Printf.sprintf "  conditionings : %d\n" s.conditionings;
-      Printf.sprintf "  cache         : %d hits / %d misses / %d drops (%d entries, capacity %s)\n"
-        s.cache_hits s.cache_misses s.cache_drops s.cache_size
-        (capacity_string s.cache_capacity);
-      Printf.sprintf "  poly ops      : %d\n" s.poly_ops;
-      Printf.sprintf "  compile time  : %.2fms\n" (ms s.compile_s);
-      Printf.sprintf "  eval time     : %.2fms\n" (ms s.eval_s);
-    ]
+    ([
+       "engine stats:\n";
+       Printf.sprintf "  players       : %d\n" s.players;
+       Printf.sprintf "  compilations  : %d\n" s.compilations;
+       Printf.sprintf "  conditionings : %d\n" s.conditionings;
+       Printf.sprintf "  cache         : %d hits / %d misses / %d drops (%d entries, capacity %s)\n"
+         s.cache_hits s.cache_misses s.cache_drops s.cache_size
+         (capacity_string s.cache_capacity);
+       Printf.sprintf "  poly ops      : %d\n" s.poly_ops;
+     ]
+     @ (if s.jobs = 1 then []
+        else
+          [
+            (* summed across domains: the per-slice numbers are stable but
+               verbose, and steal counts are scheduling noise anyway *)
+            Printf.sprintf
+              "  parallel      : %d jobs, %d facts, cache %d hits / %d misses, steals %d\n"
+              s.jobs (par_facts s) (par_hits s) (par_misses s) (par_steals s);
+          ])
+     @ [
+         Printf.sprintf "  compile time  : %.2fms\n" (ms s.compile_s);
+         Printf.sprintf "  eval time  : %.2fms\n" (ms s.eval_s);
+       ])
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)
 
-(* Stable field names: consumed by BENCH_engine.json and the cram tests
-   (which mask only the two *_ms fields). *)
+(* Stable field names: consumed by BENCH_engine.json / BENCH_parallel.json
+   and the cram tests (which mask only the two *_ms fields and the
+   scheduling-dependent par_steals). *)
 let to_json s =
   Printf.sprintf
     "{\"players\":%d,\"compilations\":%d,\"conditionings\":%d,\
      \"cache_hits\":%d,\"cache_misses\":%d,\"cache_size\":%d,\
      \"cache_capacity\":%s,\"cache_drops\":%d,\"poly_ops\":%d,\
+     \"jobs\":%d,\"par_facts\":%d,\"par_cache_hits\":%d,\
+     \"par_cache_misses\":%d,\"par_steals\":%d,\
      \"compile_ms\":%.3f,\"eval_ms\":%.3f}"
     s.players s.compilations s.conditionings s.cache_hits s.cache_misses
     s.cache_size
     (if s.cache_capacity = max_int then "null" else string_of_int s.cache_capacity)
-    s.cache_drops s.poly_ops (ms s.compile_s) (ms s.eval_s)
+    s.cache_drops s.poly_ops s.jobs (par_facts s) (par_hits s) (par_misses s)
+    (par_steals s) (ms s.compile_s) (ms s.eval_s)

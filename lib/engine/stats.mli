@@ -3,18 +3,39 @@
     Counters:
     - [compilations]: lineage compilations performed (the engine's whole
       point is that this stays at [1] per (query, database));
-    - [conditionings]: size-polynomial evaluations against the shared
-      cache ([n + 1] for a full [svc_all]: the unconditioned polynomial
-      once, then [φ[μ:=1]] once per fact — [φ[μ:=0]] comes from the
-      splitting identity without a count);
-    - [cache_*]: the shared {!Compile.Memo} counters (hits, misses,
-      retained entries, capacity, results dropped at capacity);
-    - [poly_ops]: polynomial ring operations performed by the counter;
+    - [conditionings]: size-polynomial evaluations against the engine's
+      caches ([n + 1] for a full [svc_all] at {e any} jobs count: the
+      unconditioned polynomial once, then [φ[μ:=1]] once per fact —
+      [φ[μ:=0]] comes from the splitting identity without a count);
+    - [cache_*]: the engine's own {!Compile.Memo} counters (hits, misses,
+      retained entries, capacity, results dropped at capacity).  At
+      [jobs > 1] this cache only serves the serial phases (the full
+      polynomial and any per-fact calls made outside a batched run);
+    - [poly_ops]: polynomial ring operations charged to the engine's own
+      cache;
+    - [jobs] / [domains]: the configured worker count and one
+      {!domain_stat} per worker slot of the last batched run ([[||]]
+      until a batched run happens at [jobs > 1]);
     - [compile_s] / [eval_s]: wall-clock seconds per phase (lineage
       compilation vs per-fact evaluation).
 
-    All counters are deterministic for a given (query, database); only the
-    two wall-clock fields vary between runs. *)
+    Determinism: for a given (query, database, jobs, capacity), every
+    field is deterministic {e except} the two wall-clock fields and the
+    per-domain [d_steals] (which record scheduling choices).  {!normalize}
+    zeroes exactly those, so two runs of the same workload must satisfy
+    [normalize s1 = normalize s2] — the regression test for the
+    deterministic-merge contract.  The per-slot [d_facts]/[d_hits]/
+    [d_misses] are deterministic because work slices are assigned to
+    slots statically, whatever domain ends up running each slice. *)
+
+type domain_stat = {
+  d_facts : int;  (** endogenous facts evaluated by this worker slot *)
+  d_hits : int;  (** this slot's private cache hits *)
+  d_misses : int;  (** this slot's private cache misses *)
+  d_steals : int;
+      (** chunks this worker claimed beyond its first
+          (scheduling-dependent; zeroed by {!normalize}) *)
+}
 
 type t = {
   players : int;
@@ -26,19 +47,38 @@ type t = {
   cache_capacity : int;
   cache_drops : int;
   poly_ops : int;
+  jobs : int;
+  domains : domain_stat array;
   compile_s : float;
   eval_s : float;
 }
 
 val zero : t
 
+val par_facts : t -> int
+(** Sum of [d_facts] over {!field-t.domains}; likewise below. *)
+
+val par_hits : t -> int
+val par_misses : t -> int
+val par_steals : t -> int
+
+val normalize : t -> t
+(** The deterministic projection: wall-clock fields and per-domain steal
+    counts zeroed, everything else untouched.  Two runs of the same
+    (query, database, jobs, capacity) produce structurally equal
+    normalized records. *)
+
 val to_string : t -> string
-(** Multi-line human-readable block (the [svc eval --stats] output). *)
+(** Multi-line human-readable block (the [svc eval --stats] output).  At
+    [jobs > 1] a [parallel] line reports the per-domain counters summed. *)
 
 val to_json : t -> string
 (** One-line JSON object with stable field names ([players],
     [compilations], [conditionings], [cache_hits], [cache_misses],
     [cache_size], [cache_capacity] (JSON [null] when unbounded),
-    [cache_drops], [poly_ops], [compile_ms], [eval_ms]). *)
+    [cache_drops], [poly_ops], [jobs], [par_facts], [par_cache_hits],
+    [par_cache_misses], [par_steals], [compile_ms], [eval_ms]).  The
+    [par_*] fields aggregate the per-domain counters (all [0] at
+    [jobs = 1]). *)
 
 val pp : Format.formatter -> t -> unit

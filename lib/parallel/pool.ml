@@ -1,0 +1,80 @@
+(* Fork/join pool: the calling domain is worker 0, workers 1..d-1 are
+   spawned per map call and always joined before returning (even when a
+   worker raises), so a pool value carries no state between calls and
+   can never wedge.  Chunks are claimed with one [Atomic.fetch_and_add]
+   each; results land in their original slot, making the merge
+   deterministic by construction. *)
+
+type t = { n_domains : int }
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  { n_domains = domains }
+
+let domains t = t.n_domains
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+type stats = { claims : int array; steals : int array }
+
+let map_stats ?chunk pool f arr =
+  let n = Array.length arr in
+  let d = pool.n_domains in
+  let chunk =
+    match chunk with
+    | Some c when c < 1 -> invalid_arg "Pool.map_stats: chunk must be >= 1"
+    | Some c -> c
+    | None -> max 1 (n / (4 * d))
+  in
+  let claims = Array.make d 0 in
+  if n = 0 then ([||], { claims; steals = Array.make d 0 })
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* First exception wins by CAS; its presence tells every worker to
+       stop claiming further chunks. *)
+    let failure : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let worker w =
+      try
+        let continue = ref true in
+        while !continue do
+          if Atomic.get failure <> None then continue := false
+          else begin
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo >= n then continue := false
+            else begin
+              claims.(w) <- claims.(w) + 1;
+              let hi = min n (lo + chunk) in
+              for i = lo to hi - 1 do
+                results.(i) <- Some (f arr.(i))
+              done
+            end
+          end
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
+    (* Never more spawns than chunks: surplus workers would only claim
+       nothing. *)
+    let spawned =
+      List.init
+        (min (d - 1) (((n + chunk - 1) / chunk) - 1))
+        (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    let out =
+      Array.map
+        (function Some v -> v | None -> assert false (* all chunks claimed *))
+        results
+    in
+    (out, { claims; steals = Array.map (fun c -> max 0 (c - 1)) claims })
+  end
+
+let map ?chunk pool f arr = fst (map_stats ?chunk pool f arr)

@@ -1,0 +1,56 @@
+(** Dependency-free fork/join parallelism on stdlib [Domain]s.
+
+    A {!t} is a fork/join pool configuration: {!map} fans an array out
+    across [domains] worker domains (the calling domain is worker [0];
+    the remaining workers are spawned per call and joined before the
+    call returns — no background threads outlive a call).  Work is
+    self-scheduled: workers claim chunk indices from a shared [Atomic]
+    counter, so a worker that finishes early {e steals} the chunks a
+    slower sibling never reached.
+
+    The output is position-stable: [map pool f arr] writes [f arr.(i)]
+    to slot [i] of the result whatever domain computed it, so results
+    are bit-identical to [Array.map f arr] for every domain count —
+    parallelism changes wall-clock and scheduling counters, never
+    answers.
+
+    [f] must be safe to run concurrently with itself from several
+    domains: it must not mutate shared state without synchronization
+    (in particular, stdlib [Hashtbl]s must not be shared across
+    workers — give each chunk its own).  Reading shared immutable data
+    is fine.
+
+    If [f] raises, the first exception (by scheduling order) is
+    re-raised in the caller with its backtrace after all workers have
+    been joined; remaining workers stop claiming chunks, the pool never
+    wedges, and the same pool value is reusable afterwards. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool of [domains] workers ([>= 1]; [1] degrades to sequential
+    [Array.map] with no domain spawned).
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], floored at [1] — the [0 =
+    auto] resolution used by every [--jobs] flag. *)
+
+type stats = {
+  claims : int array;  (** chunks claimed, per worker slot *)
+  steals : int array;
+      (** chunks claimed beyond each worker's first — work that
+          self-scheduling moved off a slower sibling.  Scheduling-
+          dependent: two identical runs may report different steals. *)
+}
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?chunk pool f arr] is [Array.map f arr], computed by all
+    workers in parallel, [chunk] consecutive elements per claim
+    (default: [length / (4 * domains)], floored at 1).
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val map_stats : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array * stats
+(** As {!map}, also reporting per-worker scheduling counters. *)

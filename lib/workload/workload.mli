@@ -54,8 +54,11 @@ type case_result = {
   stats : Stats.t;
 }
 
-val eval_case : ?cache_capacity:int -> case -> case_result
-val eval : ?cache_capacity:int -> t -> case_result list
+val eval_case : ?cache_capacity:int -> ?jobs:int -> case -> case_result
+val eval : ?cache_capacity:int -> ?jobs:int -> t -> case_result list
+(** [jobs] (default [1]; [0] = auto) is handed to every case's
+    {!Engine.create}: each case fans its per-fact conditionings out
+    across that many domains.  Values are identical for every [jobs]. *)
 
 (** {1 Random generation} *)
 

@@ -56,7 +56,51 @@ deterministic; only the wall-clock lines are masked):
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  {"players":4,"compilations":1,"conditionings":5,"cache_hits":5,"cache_misses":11,"cache_size":11,"cache_capacity":1048576,"cache_drops":0,"poly_ops":36,"compile_ms":null,"eval_ms":null}
+  {"players":4,"compilations":1,"conditionings":5,"cache_hits":5,"cache_misses":11,"cache_size":11,"cache_capacity":1048576,"cache_drops":0,"poly_ops":36,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null}
+
+--jobs fans the per-fact conditioning out across stdlib domains.  Values
+and order are identical to the serial run for every jobs count; each
+worker slot owns a static slice of the fact array with its own private
+cache, so the summed per-domain counters are deterministic too.  Only
+wall clock and the steal counter record scheduling, so only those are
+masked:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --jobs 4 --stats \
+  >   | sed -e 's/time  *: .*/time  : [MASKED]/' -e 's/steals [0-9]*/steals [MASKED]/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  engine stats:
+    players       : 4
+    compilations  : 1
+    conditionings : 5
+    cache         : 0 hits / 6 misses / 0 drops (6 entries, capacity 1048576)
+    poly ops      : 16
+    parallel      : 4 jobs, 4 facts, cache 5 hits / 5 misses, steals [MASKED]
+    compile time  : [MASKED]
+    eval time  : [MASKED]
+
+The same through the JSON record (the per-domain counters appear summed
+as the par_* fields):
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --jobs 4 --stats=json \
+  >   | sed -e 's/"compile_ms":[0-9.]*/"compile_ms":null/' \
+  >         -e 's/"eval_ms":[0-9.]*/"eval_ms":null/' \
+  >         -e 's/"par_steals":[0-9]*/"par_steals":null/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  {"players":4,"compilations":1,"conditionings":5,"cache_hits":0,"cache_misses":6,"cache_size":6,"cache_capacity":1048576,"cache_drops":0,"poly_ops":16,"jobs":4,"par_facts":4,"par_cache_hits":5,"par_cache_misses":5,"par_steals":null,"compile_ms":null,"eval_ms":null}
+
+A negative jobs count errors cleanly:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --jobs=-1
+  svc eval: --jobs must be >= 0 (got -1)
+  [2]
 
 A tiny cache bound changes the counters (drops appear), never the values:
 

@@ -97,7 +97,10 @@ let test_factorial_table () =
     check_bigint (Printf.sprintf "table.(%d) = factorial %d" n n)
       (Bigint.factorial n) t40.(n)
   done;
-  Alcotest.(check int) "table 0" 1 (Array.length (Bigint.factorial_table 0));
+  (* the degenerate table is exactly [| 0! |] *)
+  let t0 = Bigint.factorial_table 0 in
+  Alcotest.(check int) "table 0 length" 1 (Array.length t0);
+  check_bigint "table 0 content" Bigint.one t0.(0);
   Alcotest.check_raises "negative"
     (Invalid_argument "Bigint.factorial_table: negative argument") (fun () ->
         ignore (Bigint.factorial_table (-1)))
@@ -112,6 +115,18 @@ let test_binomial_row () =
   Alcotest.check_raises "negative"
     (Invalid_argument "Bigint.binomial_row: negative argument") (fun () ->
         ignore (Bigint.binomial_row (-1)))
+
+(* every row is palindromic and agrees entrywise with the closed form *)
+let prop_binomial_row_symmetry =
+  Test_util.qcheck ~count:100 "binomial_row symmetry vs binomial"
+    QCheck2.Gen.(int_range 0 80)
+    (fun n ->
+       let row = Bigint.binomial_row n in
+       Array.length row = n + 1
+       && Array.for_all Fun.id
+            (Array.init (n + 1) (fun k ->
+                 Bigint.equal row.(k) row.(n - k)
+                 && Bigint.equal row.(k) (Bigint.binomial n k))))
 
 let test_binomial () =
   check_bigint "C(0,0)" Bigint.one (Bigint.binomial 0 0);
@@ -216,6 +231,7 @@ let suite =
     Alcotest.test_case "factorial table" `Quick test_factorial_table;
     Alcotest.test_case "binomial" `Quick test_binomial;
     Alcotest.test_case "binomial row" `Quick test_binomial_row;
+    prop_binomial_row_symmetry;
     Alcotest.test_case "falling factorial" `Quick test_falling_factorial;
     Alcotest.test_case "pow" `Quick test_pow;
     Alcotest.test_case "gcd" `Quick test_gcd;

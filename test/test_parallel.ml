@@ -1,0 +1,209 @@
+(* Differential/metamorphic suite for the multicore parallel engine and
+   the [lib/parallel] fork/join pool.
+
+   The parallel engine's contract is that [jobs] is unobservable in the
+   answers: for every (query, database), jobs ∈ {1, 2, 4} produce lists
+   that are structurally equal to each other and to the pre-engine
+   per-fact oracle [Svc.svc_all_naive] — same facts, same order, same
+   rationals.  On top of the differentials: a determinism regression
+   (two jobs=4 runs are identical, values and normalized stats), and a
+   unit suite for the pool itself (degenerate shapes, exception
+   propagation without wedging). *)
+
+open Test_util
+
+let values_equal v1 v2 =
+  List.length v1 = List.length v2
+  && List.for_all2
+       (fun (f1, x1) (f2, x2) -> Fact.equal f1 f2 && Rational.equal x1 x2)
+       v1 v2
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit suite                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_empty () =
+  let pool = Pool.create ~domains:4 in
+  Alcotest.(check (array int)) "empty in, empty out" [||]
+    (Pool.map pool (fun x -> x + 1) [||])
+
+let test_pool_single () =
+  let pool = Pool.create ~domains:4 in
+  Alcotest.(check (array int)) "one item" [| 42 |]
+    (Pool.map pool (fun x -> x * 2) [| 21 |])
+
+let test_pool_fewer_items_than_domains () =
+  let pool = Pool.create ~domains:8 in
+  let out, stats = Pool.map_stats ~chunk:1 pool string_of_int [| 1; 2; 3 |] in
+  Alcotest.(check (array string)) "3 items on 8 domains" [| "1"; "2"; "3" |] out;
+  Alcotest.(check int) "every chunk claimed exactly once" 3
+    (Array.fold_left ( + ) 0 stats.Pool.claims)
+
+let test_pool_matches_array_map () =
+  let input = Array.init 257 (fun i -> i - 128) in
+  let f x = (x * x) - (3 * x) + 1 in
+  List.iter
+    (fun (domains, chunk) ->
+       let pool = Pool.create ~domains in
+       Alcotest.(check (array int))
+         (Printf.sprintf "domains=%d chunk=%d" domains chunk)
+         (Array.map f input)
+         (Pool.map ~chunk pool f input))
+    [ (1, 1); (2, 7); (4, 1); (4, 64); (3, 500) ]
+
+let test_pool_exception () =
+  let pool = Pool.create ~domains:4 in
+  let boom = Failure "worker exploded" in
+  Alcotest.check_raises "exception propagates" boom (fun () ->
+      ignore
+        (Pool.map ~chunk:1 pool
+           (fun x -> if x = 5 then raise boom else x)
+           (Array.init 32 Fun.id)));
+  (* the pool never wedges: the same value is immediately reusable *)
+  Alcotest.(check (array int)) "pool survives a raising worker"
+    (Array.init 32 succ)
+    (Pool.map ~chunk:1 pool succ (Array.init 32 Fun.id))
+
+let test_pool_guards () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Pool.create: domains must be >= 1") (fun () ->
+        ignore (Pool.create ~domains:0));
+  Alcotest.check_raises "zero chunk"
+    (Invalid_argument "Pool.map_stats: chunk must be >= 1") (fun () ->
+        ignore (Pool.map ~chunk:0 (Pool.create ~domains:2) Fun.id [| 1 |]));
+  Alcotest.(check bool) "recommended_domains >= 1" true
+    (Pool.recommended_domains () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties: jobs is unobservable in the values         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_jobs_vs_naive =
+  qcheck ~count:200 "svc_all jobs∈{1,2,4} = naive oracle" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_case seed in
+       let naive = Svc.svc_all_naive q db in
+       List.for_all
+         (fun jobs -> values_equal naive (Svc.svc_all ~jobs q db))
+         [ 1; 2; 4 ])
+
+let prop_jobs_vs_naive_graph =
+  qcheck ~count:100 "parallel engine on rpq graph instances" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_graph_case seed in
+       let naive = Svc.svc_all_naive q db in
+       List.for_all
+         (fun jobs -> values_equal naive (Svc.svc_all ~jobs q db))
+         [ 2; 4 ])
+
+let prop_banzhaf_parallel =
+  qcheck ~count:60 "parallel banzhaf_all = per-fact banzhaf" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_case seed in
+       let e = Engine.create ~jobs:4 q db in
+       values_equal (Engine.banzhaf_all e)
+         (List.map (fun f -> (f, Svc.banzhaf q db f)) (Database.endo_list db)))
+
+(* jobs=0 resolves to the host's core count; a tiny per-domain cache can
+   change counters, never values *)
+let prop_auto_jobs_and_tiny_cache =
+  qcheck ~count:40 "jobs=0 auto + bounded parallel cache" Gen.seed_gen
+    (fun seed ->
+       let q, db = Gen.random_case seed in
+       let reference = Svc.svc_all_naive q db in
+       let auto = Engine.create ~jobs:0 q db in
+       let squeezed = Engine.create ~jobs:3 ~cache_capacity:2 q db in
+       Engine.jobs auto >= 1
+       && values_equal reference (Engine.svc_all auto)
+       && values_equal reference (Engine.svc_all squeezed))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism regression: two jobs=4 runs of the same workload are    *)
+(* identical — ordered values and every deterministic stats field      *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism_regression () =
+  let w =
+    Workload.make ~name:"determinism"
+      ~cases:
+        [ Workload.case ~name:"star" ~query_src:"R(?x), S(?x,?y)"
+            ~db:(Workload.star_join ~spokes:7);
+          Workload.case ~name:"rst" ~query_src:"R(?x), S(?x,?y), T(?y)"
+            ~db:(Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false ()) ]
+  in
+  let r1 = Workload.eval ~jobs:4 w in
+  let r2 = Workload.eval ~jobs:4 w in
+  List.iter2
+    (fun (a : Workload.case_result) (b : Workload.case_result) ->
+       Alcotest.(check bool)
+         (a.Workload.rcase.Workload.cname ^ ": identical ordered values") true
+         (values_equal a.Workload.values b.Workload.values);
+       Alcotest.(check bool)
+         (a.Workload.rcase.Workload.cname ^ ": identical deterministic stats")
+         true
+         (Stats.normalize a.Workload.stats = Stats.normalize b.Workload.stats))
+    r1 r2
+
+(* the parallel stats contract: every fact evaluated exactly once across
+   the domain slots, n+1 conditionings as in the serial engine, one slot
+   record per worker *)
+let test_parallel_stats_shape () =
+  let db = Workload.star_join ~spokes:9 in
+  let q = Query_parse.parse "R(?x), S(?x,?y)" in
+  let e = Engine.create ~jobs:4 q db in
+  ignore (Engine.svc_all e);
+  let s = Engine.stats e in
+  let n = Database.size_endo db in
+  Alcotest.(check int) "jobs" 4 s.Stats.jobs;
+  Alcotest.(check int) "one slot per worker" 4 (Array.length s.Stats.domains);
+  Alcotest.(check int) "every fact evaluated once" n (Stats.par_facts s);
+  Alcotest.(check int) "one compilation" 1 s.Stats.compilations;
+  Alcotest.(check int) "n+1 conditionings" (n + 1) s.Stats.conditionings;
+  Alcotest.(check bool) "per-domain caches did work" true (Stats.par_misses s > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Compile padding-polynomial memoization is referentially transparent *)
+(* (its table is domain-local, so this also holds inside workers)      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_one_plus_z_pow_transparent =
+  qcheck ~count:100 "one_plus_z_pow k = (1+z)^k, stable across calls"
+    QCheck2.Gen.(int_range 0 60)
+    (fun k ->
+       let expected =
+         Poly.Z.of_coeffs (Array.to_list (Bigint.binomial_row k))
+       in
+       Poly.Z.equal expected (Compile.one_plus_z_pow k)
+       && Poly.Z.equal (Compile.one_plus_z_pow k) (Compile.one_plus_z_pow k))
+
+let test_one_plus_z_pow_in_domains () =
+  (* the memo table is domain-local: a fresh domain starts cold and still
+     answers identically *)
+  let ks = [ 0; 1; 5; 17 ] in
+  let here = List.map Compile.one_plus_z_pow ks in
+  let there =
+    Domain.join (Domain.spawn (fun () -> List.map Compile.one_plus_z_pow ks))
+  in
+  List.iter2 (check_zpoly "same polynomial across domains") here there
+
+let suite =
+  [
+    Alcotest.test_case "pool: empty array" `Quick test_pool_empty;
+    Alcotest.test_case "pool: single item" `Quick test_pool_single;
+    Alcotest.test_case "pool: fewer items than domains" `Quick
+      test_pool_fewer_items_than_domains;
+    Alcotest.test_case "pool: map = Array.map" `Quick test_pool_matches_array_map;
+    Alcotest.test_case "pool: exceptions propagate, pool survives" `Quick
+      test_pool_exception;
+    Alcotest.test_case "pool: guards" `Quick test_pool_guards;
+    prop_jobs_vs_naive;
+    prop_jobs_vs_naive_graph;
+    prop_banzhaf_parallel;
+    prop_auto_jobs_and_tiny_cache;
+    Alcotest.test_case "determinism regression at jobs=4" `Quick
+      test_determinism_regression;
+    Alcotest.test_case "parallel stats shape" `Quick test_parallel_stats_shape;
+    prop_one_plus_z_pow_transparent;
+    Alcotest.test_case "padding memo is domain-local" `Quick
+      test_one_plus_z_pow_in_domains;
+  ]
