@@ -41,9 +41,11 @@ let write_json ~path entries ~pass =
 let run_instance ~jobs ~family q db =
   let n = Database.size_endo db in
   let naive, naive_s = Report.time_it (fun () -> Svc.svc_all_naive q db) in
+  (* pinned to the conditioning backend: this experiment measures the
+     batched memoizing engine itself, not the `Auto backend choice *)
   let (e, batched), engine_s =
     Report.time_it (fun () ->
-        let e = Engine.create ~jobs q db in
+        let e = Engine.create ~jobs ~backend:`Conditioning q db in
         (e, Engine.svc_all e))
   in
   let agree =

@@ -57,9 +57,11 @@ let values_equal v1 v2 =
        v1 v2
 
 (* Time the batched evaluation phase at a given jobs count; the engine is
-   created (and the lineage compiled) outside the timer. *)
+   created (and the lineage compiled) outside the timer.  Pinned to the
+   conditioning backend so the jobs=1 baseline stays the serial fan-out
+   path rather than `Auto flipping it to the circuit evaluator. *)
 let timed_eval ~jobs q db =
-  let e = Engine.create ~jobs q db in
+  let e = Engine.create ~jobs ~backend:`Conditioning q db in
   let (values, s) = Report.time_it (fun () -> Engine.svc_all e) in
   (values, Engine.stats e, s)
 

@@ -32,6 +32,7 @@ let experiments ~jobs : (string * (unit -> bool)) list =
     ("scale", Exp_scale.scale);
     ("engine", Exp_engine.engine ~jobs);
     ("parallel", Exp_parallel.parallel);
+    ("circuit", Exp_circuit.circuit);
     ("red_scale", Exp_scale.reduction_scaling);
     ("ablate_compile", Exp_scale.ablate_compile);
     ("ablate_poly", Exp_scale.ablate_poly);

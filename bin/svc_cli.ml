@@ -60,14 +60,39 @@ let eval_cmd =
                  serial, 0 = one per available core).  Values and order are \
                  identical for every $(docv).")
   in
-  let run db_path query_str stats cache_capacity jobs =
+  let backend_arg =
+    Arg.(value & opt string "auto" & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Evaluation backend: $(b,conditioning) (one conditioned \
+                 count per fact), $(b,circuit) (one d-DNNF compilation, \
+                 every fact read off a single traversal pair), or \
+                 $(b,auto) (default: circuit on large serial instances). \
+                 Values are identical for every choice.")
+  in
+  let run db_path query_str stats cache_capacity jobs backend =
     if jobs < 0 then begin
       Printf.eprintf "svc eval: --jobs must be >= 0 (got %d)\n" jobs;
       exit 2
     end;
+    let backend =
+      match backend with
+      | "auto" -> `Auto
+      | "conditioning" -> `Conditioning
+      | "circuit" -> `Circuit
+      | other ->
+        Printf.eprintf
+          "svc eval: unknown backend %S (expected auto, conditioning or \
+           circuit)\n"
+          other;
+        exit 2
+    in
     let db = load_db db_path in
     let q = parse_query query_str in
-    let e = Engine.create ?cache_capacity ~jobs q db in
+    let e = Engine.create ?cache_capacity ~jobs ~backend q db in
+    if Engine.auto_selected e then
+      Printf.printf
+        "note: auto-selected circuit backend (%d endogenous facts >= %d); \
+         --backend overrides\n"
+        (Database.size_endo db) Engine.circuit_threshold;
     let values = Engine.svc_all e in
     let sorted =
       List.sort (fun (_, a) (_, b) -> Rational.compare b a) values
@@ -86,11 +111,12 @@ let eval_cmd =
   in
   let doc =
     "Shapley value of every endogenous fact through the batched memoizing \
-     engine (one lineage compilation, per-fact conditioning), with optional \
-     instrumentation."
+     engine (one lineage compilation, then per-fact conditioning or a \
+     single d-DNNF circuit evaluation), with optional instrumentation."
   in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg $ jobs_arg)
+    Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg $ jobs_arg
+          $ backend_arg)
 
 (* ---------------- count ---------------- *)
 

@@ -1,0 +1,624 @@
+(* d-DNNF circuits for lineage formulas.
+
+   Shannon expansion with structural-hash node sharing, reusing the
+   counter's branching heuristic and variable-disjoint ∧-decomposition
+   ([Compile.branch_variable] / [Compile.conjunct_components]) and the
+   [Compile.Memo] cache discipline (bounded, drops never change the
+   result).  Every ∨ is either a decision node [(μ ∧ hi) ∨ (¬μ ∧ lo)] or
+   a smoothing gadget [μ ∨ ¬μ], so determinism is structural; smoothing
+   gadgets are inserted at construction time so both children of every
+   decision mention exactly the decided formula's variables.
+
+   Nodes live in one arena; a child id is always smaller than its
+   parent's (construction is bottom-up), so ascending id order is a
+   topological order — the evaluator is two array sweeps. *)
+
+type node =
+  | NTrue
+  | NFalse
+  | NLit of Fact.t * bool
+  | NAnd of int array
+  | NOr of int array
+
+(* Structural hashing over child *ids*: children are hash-consed before
+   their parent, so id equality is structural equality of sub-circuits
+   and node hashing is O(fanout), not O(circuit). *)
+module Unique = Hashtbl.Make (struct
+    type t = node
+
+    let equal a b =
+      match (a, b) with
+      | NTrue, NTrue | NFalse, NFalse -> true
+      | NLit (f, s), NLit (f', s') -> s = s' && Fact.equal f f'
+      | NAnd xs, NAnd ys | NOr xs, NOr ys -> xs = ys
+      | _ -> false
+
+    let hash n =
+      let mix h k = (h * 0x01000193) lxor k in
+      (match n with
+       | NTrue -> 0x11
+       | NFalse -> 0x13
+       | NLit (f, s) -> mix (mix 0x17 (Hashtbl.hash f)) (Bool.to_int s)
+       | NAnd ch -> Array.fold_left mix 0x1d ch
+       | NOr ch -> Array.fold_left mix 0x1f ch)
+      land max_int
+  end)
+
+module Fcache = Hashtbl.Make (struct
+    type t = Bform.t
+
+    let equal = Bform.equal
+    let hash = Bform.hash
+  end)
+
+type t = {
+  mutable nodes : node array;
+  mutable varsets : Fact.Set.t array;
+  mutable len : int;
+  unique : int Unique.t;
+  mutable root : int;
+  capacity : int;
+  mutable smoothing : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable drops : int;
+  mutable n_nodes : int; (* reachable from root, frozen at compile *)
+  mutable n_edges : int;
+}
+
+let true_id = 0
+let false_id = 1
+
+let alloc c node vs =
+  match Unique.find_opt c.unique node with
+  | Some id -> id
+  | None ->
+    let cap = Array.length c.nodes in
+    if c.len = cap then begin
+      let nodes = Array.make (2 * cap) NTrue in
+      Array.blit c.nodes 0 nodes 0 cap;
+      c.nodes <- nodes;
+      let varsets = Array.make (2 * cap) Fact.Set.empty in
+      Array.blit c.varsets 0 varsets 0 cap;
+      c.varsets <- varsets
+    end;
+    let id = c.len in
+    c.nodes.(id) <- node;
+    c.varsets.(id) <- vs;
+    Unique.add c.unique node id;
+    c.len <- id + 1;
+    id
+
+let mk_lit c f sign = alloc c (NLit (f, sign)) (Fact.Set.singleton f)
+
+(* ⊥ absorbs, ⊤ drops, nested ∧ flattens (children stay pairwise
+   variable-disjoint by transitivity); children sorted for sharing.
+   [?vs] is the union of the children's variable sets when the caller
+   already knows it — Fact.Set unions over structural fact compares are
+   the hottest part of compilation otherwise. *)
+let mk_and ?vs c ids =
+  let rec gather acc = function
+    | [] -> Some acc
+    | id :: rest ->
+      if id = false_id then None
+      else if id = true_id then gather acc rest
+      else (
+        match c.nodes.(id) with
+        | NAnd ch -> gather (List.rev_append (Array.to_list ch) acc) rest
+        | _ -> gather (id :: acc) rest)
+  in
+  match gather [] ids with
+  | None -> false_id
+  | Some [] -> true_id
+  | Some [ id ] -> id
+  | Some ids ->
+    let arr = Array.of_list (List.sort_uniq Int.compare ids) in
+    if Array.length arr = 1 then arr.(0)
+    else
+      let vs =
+        match vs with
+        | Some vs -> vs
+        | None ->
+          Array.fold_left
+            (fun acc i -> Fact.Set.union acc c.varsets.(i))
+            Fact.Set.empty arr
+      in
+      alloc c (NAnd arr) vs
+
+(* ⊥ children drop (they would break smoothness and contribute nothing);
+   the callers only ever produce mutually exclusive children. *)
+let mk_or c ids =
+  match List.filter (fun id -> id <> false_id) ids with
+  | [] -> false_id
+  | [ id ] -> id
+  | ids ->
+    let arr = Array.of_list (List.sort Int.compare ids) in
+    alloc c (NOr arr) c.varsets.(arr.(0))
+
+(* Pad [id] up to the variable set [target] with μ ∨ ¬μ gadgets, one per
+   missing variable; fresh allocations are charged to the smoothing
+   counter (gadgets and wrappers are pure evaluator enablement). *)
+let smooth_to c target id =
+  if id = false_id then id
+  else
+    let missing = Fact.Set.diff target c.varsets.(id) in
+    if Fact.Set.is_empty missing then id
+    else begin
+      let before = c.len in
+      let gadgets =
+        Fact.Set.fold
+          (fun v acc -> mk_or c [ mk_lit c v true; mk_lit c v false ] :: acc)
+          missing []
+      in
+      (* vars(id) ⊆ target at every call site, so the result covers
+         exactly [target] *)
+      let r = mk_and ~vs:target c (id :: gadgets) in
+      c.smoothing <- c.smoothing + (c.len - before);
+      r
+    end
+
+let rec build c cache phi =
+  match phi with
+  | Bform.True -> true_id
+  | Bform.False -> false_id
+  | Bform.Fv f -> mk_lit c f true
+  | Bform.Not (Bform.Fv f) -> mk_lit c f false
+  | _ ->
+    (match Fcache.find_opt cache phi with
+     | Some id ->
+       c.hits <- c.hits + 1;
+       id
+     | None ->
+       c.misses <- c.misses + 1;
+       let id =
+         match phi with
+         | Bform.And parts ->
+           (match Compile.conjunct_components parts with
+            | [] | [ _ ] -> shannon c cache phi
+            | comps ->
+              (* independent join: a decomposable ∧ over the components *)
+              mk_and c (List.map (fun (sub, _) -> build c cache sub) comps))
+         | _ -> shannon c cache phi
+       in
+       if Fcache.length cache < c.capacity then Fcache.add cache phi id
+       else c.drops <- c.drops + 1;
+       id)
+
+and shannon c cache phi =
+  match Compile.branch_variable phi with
+  | None -> assert false (* non-constant formula has a variable *)
+  | Some v ->
+    let all = Bform.vars phi in
+    let target = Fact.Set.remove v all in
+    let hi = smooth_to c target (build c cache (Bform.condition v true phi)) in
+    let lo = smooth_to c target (build c cache (Bform.condition v false phi)) in
+    (* deterministic by the decided variable; smooth because both
+       branches were padded to exactly [target] *)
+    mk_or c
+      [ mk_and ~vs:all c [ mk_lit c v true; hi ];
+        mk_and ~vs:all c [ mk_lit c v false; lo ] ]
+
+(* Sub-circuits built for components that a later ⊥ collapsed can be
+   unreachable from the root; size metrics report the live circuit. *)
+let count_reachable c =
+  let reach = Array.make c.len false in
+  let rec mark id =
+    if not reach.(id) then begin
+      reach.(id) <- true;
+      match c.nodes.(id) with
+      | NAnd ch | NOr ch -> Array.iter mark ch
+      | _ -> ()
+    end
+  in
+  mark c.root;
+  let nodes = ref 0 and edges = ref 0 in
+  Array.iteri
+    (fun id live ->
+       if live then begin
+         incr nodes;
+         match c.nodes.(id) with
+         | NAnd ch | NOr ch -> edges := !edges + Array.length ch
+         | _ -> ()
+       end)
+    reach;
+  (!nodes, !edges)
+
+let compile ?(cache_capacity = max_int) phi =
+  if cache_capacity < 0 then invalid_arg "Circuit.compile: negative capacity";
+  let c =
+    {
+      nodes = Array.make 64 NTrue;
+      varsets = Array.make 64 Fact.Set.empty;
+      len = 0;
+      unique = Unique.create 256;
+      root = 0;
+      capacity = cache_capacity;
+      smoothing = 0;
+      hits = 0;
+      misses = 0;
+      drops = 0;
+      n_nodes = 0;
+      n_edges = 0;
+    }
+  in
+  ignore (alloc c NTrue Fact.Set.empty : int); (* id 0 *)
+  ignore (alloc c NFalse Fact.Set.empty : int); (* id 1 *)
+  c.root <- build c (Fcache.create 256) phi;
+  let nodes, edges = count_reachable c in
+  c.n_nodes <- nodes;
+  c.n_edges <- edges;
+  c
+
+let vars c = c.varsets.(c.root)
+let node_count c = c.n_nodes
+let edge_count c = c.n_edges
+let smoothing_nodes c = c.smoothing
+let cache_hits c = c.hits
+let cache_misses c = c.misses
+let cache_drops c = c.drops
+
+type evaluation = {
+  full : Poly.Z.t;
+  by_fact : (Fact.t * Poly.Z.t) array;
+  poly_ops : int;
+}
+
+(* One bottom-up pass (per-node size polynomials p) and one top-down pass
+   (per-node gradients g = ∂p_root/∂p_node, chain rule over the DAG in
+   reverse id order).  By smoothness + decomposability + determinism the
+   root polynomial is multilinear in the leaf weights w(μ)=z, w(¬μ)=1,
+   so g at the positive literal of μ is Σ_{S ∌ μ, S∪{μ} ⊨ φ} z^|S| —
+   exactly C(φ[μ:=1]) over the circuit variables minus μ. *)
+let evaluate c ~universe =
+  let cvars = vars c in
+  if not (Fact.Set.subset cvars (Fact.Set.of_list universe)) then
+    invalid_arg "Circuit.evaluate: circuit mentions a fact outside the universe";
+  let ops = ref 0 in
+  (* The ring ops, with the identities that dominate the circuit (neutral
+     elements from ¬μ leaves, z from μ leaves) short-circuited: a smoothed
+     decision wrapper is [μ ∧ hi], and paying a full convolution to
+     multiply by 1 or z would drown the traversal in Bigint work. *)
+  let mul a b =
+    if Poly.Z.equal a Poly.Z.one then b
+    else if Poly.Z.equal b Poly.Z.one then a
+    else if Poly.Z.equal a Poly.Z.x then (incr ops; Poly.Z.shift 1 b)
+    else if Poly.Z.equal b Poly.Z.x then (incr ops; Poly.Z.shift 1 a)
+    else (incr ops; Poly.Z.mul a b)
+  in
+  let add a b =
+    if Poly.Z.is_zero a then b
+    else if Poly.Z.is_zero b then a
+    else (incr ops; Poly.Z.add a b)
+  in
+  (* Smoothing gadgets [μ ∨ ¬μ] are structural (so {!Check} can verify
+     smoothness) but algebraically they are just the factor (1 + z): a
+     ∧-node with k gadget children multiplies by the {e memoized}
+     [(1+z)^k] in one op instead of k full convolutions.  A gadget is any
+     ∨ of the two opposite literals of one variable — whether [smooth_to]
+     made it or a trivial decision collapsed into the same shape. *)
+  let gadget = Array.make c.len false in
+  for id = 0 to c.len - 1 do
+    match c.nodes.(id) with
+    | NOr [| a; b |] ->
+      (match (c.nodes.(a), c.nodes.(b)) with
+       | NLit (v, sa), NLit (w, sb) when Fact.equal v w && sa <> sb ->
+         gadget.(id) <- true
+       | _ -> ())
+    | _ -> ()
+  done;
+  let n = List.length universe in
+  let nv = Fact.Set.cardinal cvars in
+  let p = Array.make c.len Poly.Z.zero in
+  for id = 0 to c.len - 1 do
+    p.(id) <-
+      (match c.nodes.(id) with
+       | NTrue -> Poly.Z.one
+       | NFalse -> Poly.Z.zero
+       | NLit (_, true) -> Poly.Z.x
+       | NLit (_, false) -> Poly.Z.one
+       | NAnd ch ->
+         let k = ref 0 in
+         let prod = ref Poly.Z.one in
+         Array.iter
+           (fun i -> if gadget.(i) then incr k else prod := mul !prod p.(i))
+           ch;
+         if !k = 0 then !prod else mul !prod (Compile.one_plus_z_pow !k)
+       | NOr ch ->
+         if gadget.(id) then Compile.one_plus_z_pow 1
+         else Array.fold_left (fun acc i -> add acc p.(i)) Poly.Z.zero ch)
+  done;
+  let g = Array.make c.len Poly.Z.zero in
+  g.(c.root) <- Poly.Z.one;
+  (* Only positive literals are ever read out of g (by_fact), so gradient
+     flowing into ¬μ leaves or constants is pure waste — and in a decision
+     chain the ¬μ gradient is a full convolution with the sibling branch
+     at every level.  Dead leaves are pruned from the flow entirely. *)
+  let wants_g i =
+    match c.nodes.(i) with
+    | NLit (_, false) | NTrue | NFalse -> false
+    | NLit (_, true) | NAnd _ | NOr _ -> true
+  in
+  (* Gadget fan-out batching.  A smoothed ∧ adds the same base gradient
+     to each of its k gadget children; doing that as k polynomial adds
+     makes the sweep cubic in |vars| on decision chains (every level
+     smooths a near-complete suffix of the variable order).  The sets of
+     gadgets smoothed over at successive decisions are nested — each is
+     the previous minus the newly decided variable — so ranking gadgets
+     by how deep their variable is decided (deeper decision ⇒ higher
+     rank) turns each ∧'s gadget set into one (or few) contiguous rank
+     intervals.  Each interval costs O(1) polynomial ops: the base enters
+     a running sum at the interval's high rank and leaves below its low
+     rank, and a final descending rank sweep deposits the accumulated
+     gradient of every gadget directly into its positive literal. *)
+  let gadget_ids = ref [] in
+  for id = c.len - 1 downto 0 do
+    if gadget.(id) then gadget_ids := id :: !gadget_ids
+  done;
+  let gadget_ids = Array.of_list !gadget_ids in
+  let nranks = Array.length gadget_ids in
+  let gadget_rank = Array.make c.len (-1) in
+  let rank_pos_lit = Array.make nranks (-1) in
+  if nranks > 0 then begin
+    (* decision depth of a variable ≈ the largest ∧ in which one of its
+       literals appears undisguised (not as part of a gadget); ids grow
+       upward, so a larger id means a shallower decision *)
+    let decision_id : (Fact.t, int) Hashtbl.t = Hashtbl.create 64 in
+    for id = 0 to c.len - 1 do
+      match c.nodes.(id) with
+      | NAnd ch ->
+        Array.iter
+          (fun i ->
+             if not gadget.(i) then
+               match c.nodes.(i) with
+               | NLit (v, _) -> Hashtbl.replace decision_id v id
+               | _ -> ())
+          ch
+      | _ -> ()
+    done;
+    let var_of gid =
+      match c.nodes.(gid) with
+      | NOr [| a; _ |] ->
+        (match c.nodes.(a) with NLit (v, _) -> v | _ -> assert false)
+      | _ -> assert false
+    in
+    let depth gid =
+      match Hashtbl.find_opt decision_id (var_of gid) with
+      | Some d -> d
+      | None -> -1
+    in
+    Array.sort
+      (fun g1 g2 ->
+         let c1 = compare (depth g2) (depth g1) in
+         if c1 <> 0 then c1 else compare g1 g2)
+      gadget_ids;
+    Array.iteri
+      (fun rank gid ->
+         gadget_rank.(gid) <- rank;
+         rank_pos_lit.(rank) <-
+           (match c.nodes.(gid) with
+            | NOr [| a; b |] ->
+              (match c.nodes.(a) with NLit (_, true) -> a | _ -> b)
+            | _ -> assert false))
+      gadget_ids
+  end;
+  let on_enter = Array.make (max nranks 1) [] in
+  let on_exit = Array.make (max nranks 1) [] in
+  let fan_out_to_gadgets ch base =
+    (* the gadget children's ranks, split into maximal consecutive runs *)
+    let ranks =
+      Array.of_list
+        (List.filter_map
+           (fun i -> if gadget.(i) then Some gadget_rank.(i) else None)
+           (Array.to_list ch))
+    in
+    Array.sort compare ranks;
+    let nr = Array.length ranks in
+    let lo = ref 0 in
+    for i = 0 to nr - 1 do
+      if i = nr - 1 || ranks.(i + 1) <> ranks.(i) + 1 then begin
+        on_enter.(ranks.(i)) <- base :: on_enter.(ranks.(i));
+        on_exit.(ranks.(!lo)) <- base :: on_exit.(ranks.(!lo));
+        lo := i + 1
+      end
+    done
+  in
+  for id = c.len - 1 downto 0 do
+    if not (Poly.Z.is_zero g.(id)) then begin
+      match c.nodes.(id) with
+      | NOr ch ->
+        Array.iter (fun i -> if wants_g i then g.(i) <- add g.(i) g.(id)) ch
+      | NAnd ch ->
+        (* g flows to child i scaled by the product of the siblings'
+           polynomials; prefix/suffix products over the non-gadget
+           children (k gadget siblings contribute the shared factor
+           (1+z)^k, or (1+z)^(k-1) when i is itself a gadget) keep this
+           linear in the fanout *)
+        let real = Array.of_list (List.filter (fun i -> not gadget.(i)) (Array.to_list ch)) in
+        let k = Array.length ch - Array.length real in
+        let m = Array.length real in
+        let pre = Array.make (m + 1) Poly.Z.one in
+        for i = 0 to m - 1 do
+          pre.(i + 1) <- mul pre.(i) p.(real.(i))
+        done;
+        let pad = if k = 0 then Poly.Z.one else Compile.one_plus_z_pow k in
+        let g_pad = mul g.(id) pad in
+        let suf = ref Poly.Z.one in
+        for i = m - 1 downto 0 do
+          if wants_g real.(i) then
+            g.(real.(i)) <- add g.(real.(i)) (mul g_pad (mul pre.(i) !suf));
+          suf := mul !suf p.(real.(i))
+        done;
+        if k > 0 then
+          (* every gadget child of this ∧ receives the same gradient:
+             g · (product of real children) · (1+z)^(k-1) *)
+          fan_out_to_gadgets ch
+            (mul g.(id)
+               (mul pre.(m)
+                  (if k = 1 then Poly.Z.one
+                   else Compile.one_plus_z_pow (k - 1))))
+      | _ -> ()
+    end
+  done;
+  (* resolve the batched fan-outs: sweep ranks from deepest decision to
+     shallowest, maintaining the running interval sum, and deposit each
+     gadget's accumulated gradient straight into its positive literal
+     (the gadget node itself forwards nothing else downward) *)
+  let running = ref Poly.Z.zero in
+  for r = nranks - 1 downto 0 do
+    List.iter (fun b -> running := add !running b) on_enter.(r);
+    if not (Poly.Z.is_zero !running) then begin
+      let lit = rank_pos_lit.(r) in
+      g.(lit) <- add g.(lit) !running
+    end;
+    List.iter
+      (fun b ->
+         incr ops;
+         running := Poly.Z.sub !running b)
+      on_exit.(r)
+  done;
+  let pad k poly = if k = 0 then poly else mul poly (Compile.one_plus_z_pow k) in
+  let full = pad (n - nv) p.(c.root) in
+  let by_fact =
+    Array.of_list
+      (List.map
+         (fun f ->
+            if Fact.Set.mem f cvars then
+              (* g counts over cvars∖{f}; pad the (n-1) - (nv-1) facts of
+                 the universe the circuit never mentions *)
+              let base =
+                match Unique.find_opt c.unique (NLit (f, true)) with
+                | Some id -> g.(id)
+                | None -> Poly.Z.zero
+              in
+              (f, pad (n - nv) base)
+            else
+              (* null player: φ[f:=1] = φ, over a universe of n-1 facts *)
+              (f, pad (n - 1 - nv) p.(c.root)))
+         universe)
+  in
+  { full; by_fact; poly_ops = !ops }
+
+module Check = struct
+  type report = {
+    nodes_checked : int;
+    and_nodes : int;
+    or_nodes : int;
+    assignments : int;
+  }
+
+  exception Fail of string
+
+  let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+  (* Deliberately independent of the compiler: variable sets are
+     recomputed from the raw node structure (never read from the cached
+     [varsets]), decomposability/smoothness checked on those, and
+     determinism (plus equivalence to [formula], when given) verified by
+     evaluating every reachable node under every assignment. *)
+  let check ?(max_vars = 16) ?formula c =
+    try
+      let vs = Array.make c.len Fact.Set.empty in
+      for id = 0 to c.len - 1 do
+        vs.(id) <-
+          (match c.nodes.(id) with
+           | NTrue | NFalse -> Fact.Set.empty
+           | NLit (f, _) -> Fact.Set.singleton f
+           | NAnd ch | NOr ch ->
+             Array.iter
+               (fun i ->
+                  if i >= id then
+                    failf "node %d has child %d >= itself (not topological)"
+                      id i)
+               ch;
+             Array.fold_left
+               (fun acc i -> Fact.Set.union acc vs.(i))
+               Fact.Set.empty ch)
+      done;
+      let reach = Array.make c.len false in
+      let rec mark id =
+        if not reach.(id) then begin
+          reach.(id) <- true;
+          match c.nodes.(id) with
+          | NAnd ch | NOr ch -> Array.iter mark ch
+          | _ -> ()
+        end
+      in
+      mark c.root;
+      let checked = ref 0 and and_nodes = ref 0 and or_nodes = ref 0 in
+      for id = 0 to c.len - 1 do
+        if reach.(id) then begin
+          incr checked;
+          match c.nodes.(id) with
+          | NAnd ch ->
+            incr and_nodes;
+            let seen = ref Fact.Set.empty in
+            Array.iter
+              (fun i ->
+                 if not (Fact.Set.is_empty (Fact.Set.inter !seen vs.(i))) then
+                   failf "∧-node %d is not decomposable" id;
+                 seen := Fact.Set.union !seen vs.(i))
+              ch
+          | NOr ch ->
+            incr or_nodes;
+            Array.iter
+              (fun i ->
+                 if not (Fact.Set.equal vs.(i) vs.(id)) then
+                   failf "∨-node %d is not smooth" id)
+              ch
+          | _ -> ()
+        end
+      done;
+      let enum_vars =
+        Fact.Set.elements
+          (match formula with
+           | Some phi -> Fact.Set.union vs.(c.root) (Bform.vars phi)
+           | None -> vs.(c.root))
+      in
+      let k = List.length enum_vars in
+      if k > max_vars then
+        failf "too many variables (%d > %d) to verify determinism" k max_vars;
+      let arr = Array.of_list enum_vars in
+      let assignments = ref 0 in
+      let value = Array.make c.len false in
+      for mask = 0 to (1 lsl k) - 1 do
+        incr assignments;
+        let sigma = ref Fact.Set.empty in
+        Array.iteri
+          (fun i f ->
+             if mask land (1 lsl i) <> 0 then sigma := Fact.Set.add f !sigma)
+          arr;
+        for id = 0 to c.len - 1 do
+          if reach.(id) then
+            value.(id) <-
+              (match c.nodes.(id) with
+               | NTrue -> true
+               | NFalse -> false
+               | NLit (f, s) -> Bool.equal (Fact.Set.mem f !sigma) s
+               | NAnd ch -> Array.for_all (fun i -> value.(i)) ch
+               | NOr ch ->
+                 let trues =
+                   Array.fold_left
+                     (fun acc i -> if value.(i) then acc + 1 else acc)
+                     0 ch
+                 in
+                 if trues > 1 then
+                   failf "∨-node %d is not deterministic (%d children true)"
+                     id trues;
+                 trues = 1)
+        done;
+        match formula with
+        | Some phi when not (Bool.equal (Bform.eval phi !sigma) value.(c.root))
+          ->
+          failf "circuit disagrees with the formula on an assignment"
+        | _ -> ()
+      done;
+      Ok
+        {
+          nodes_checked = !checked;
+          and_nodes = !and_nodes;
+          or_nodes = !or_nodes;
+          assignments = !assignments;
+        }
+    with Fail msg -> Error msg
+  [@@warning "-27"]
+end

@@ -1,0 +1,116 @@
+(** Knowledge-compilation backend: d-DNNF circuits for lineage formulas.
+
+    The conditioning engine ({!Engine}) answers a batched SVC query with
+    one size-polynomial extraction {e per fact}.  This module attacks the
+    asymptotics themselves, following Deutch, Frost, Kimelfeld &
+    Moskovitch ("Computing the Shapley Value of Facts in Query
+    Answering"): compile the lineage {e once} into a smoothed,
+    decomposable, deterministic NNF circuit, then read every fact's
+    Shapley polynomial off the circuit with a single bottom-up pass
+    (per-node size polynomials) plus a single top-down gradient pass
+    (per-node partial derivatives of the root polynomial) — no per-fact
+    conditioning at all.
+
+    {2 The circuit}
+
+    Nodes are [⊤], [⊥], literals [μ]/[¬μ], ∧ and ∨, stored in one arena
+    with structural-hash node sharing (a child's id is always smaller
+    than its parent's, so id order is a topological order).  The
+    invariants, checkable independently with {!Check}:
+
+    - {e decomposable}: the children of every ∧ mention pairwise disjoint
+      variable sets (so their polynomials multiply);
+    - {e deterministic}: the children of every ∨ are pairwise mutually
+      exclusive (so their polynomials add) — guaranteed structurally,
+      because every ∨ is either a Shannon decision node on a variable or
+      a smoothing gadget [μ ∨ ¬μ];
+    - {e smooth}: the children of every ∨ mention the {e same} variable
+      set (so all polynomials count over a consistent universe);
+      smoothing gadgets are inserted during construction and counted as
+      [smoothing_nodes].
+
+    Compilation is Shannon expansion with the same branching heuristic
+    and variable-disjoint ∧-decomposition as {!Compile}, memoized on the
+    conditioned sub-formula in a bounded cache with the {!Compile.Memo}
+    discipline: at capacity, sub-circuits are still built (node sharing
+    keeps them small) but the formula→node binding is not retained,
+    counted as a drop — a bound can never change the circuit's meaning.
+
+    {2 The single-pass evaluator}
+
+    For a smooth deterministic decomposable circuit, the root's size
+    polynomial [P(z)] is multilinear in the leaf weights
+    [w(μ) = z, w(¬μ) = 1], so [∂P/∂w(μ)] — computed for {e all} leaves at
+    once by one reverse sweep — is exactly the generating polynomial of
+    the satisfying assignments with [μ] true, i.e. [C(φ[μ:=1])], the
+    [with_mu_exo] polynomial of Claim A.1.  {!evaluate} returns it for
+    every fact of the universe (null players handled by padding), plus
+    the full polynomial [C(φ)]. *)
+
+type t
+(** A compiled circuit for one formula.  Immutable once compiled; the
+    instrumentation counters are frozen at compile time. *)
+
+val compile : ?cache_capacity:int -> Bform.t -> t
+(** Compile a lineage formula.  [cache_capacity] bounds the number of
+    formula→node memo entries (default unbounded; the bound affects
+    compile time, never the result).
+    @raise Invalid_argument on negative capacity. *)
+
+val vars : t -> Fact.Set.t
+(** The variables the circuit mentions (= the formula's variables unless
+    the formula was constant). *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val smoothing_nodes : t -> int
+(** Nodes allocated by smoothing alone — the structural overhead paid so
+    the one-pass evaluator can read all facts off the circuit. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_drops : t -> int
+
+type evaluation = {
+  full : Poly.Z.t;
+      (** [C(φ, U)]: the size polynomial over the whole universe. *)
+  by_fact : (Fact.t * Poly.Z.t) array;
+      (** One entry per universe fact, in the given order: the fact and
+          its [C(φ[μ:=1], U∖{μ})] polynomial ([with_mu_exo]).  The
+          [φ[μ:=0]] side follows from the splitting identity
+          [C(φ) = z·C(φ[μ:=1]) + C(φ[μ:=0])] without another pass. *)
+  poly_ops : int;  (** polynomial ring operations spent evaluating *)
+}
+
+val evaluate : t -> universe:Fact.t list -> evaluation
+(** One bottom-up + one top-down traversal; every fact's polynomial from
+    a single compilation, no per-fact conditioning.
+    @raise Invalid_argument if the circuit mentions a fact outside the
+    universe. *)
+
+(** Independent invariant verifier, in the style of {!Certcheck}: it
+    recomputes every variable set from the raw node structure and checks
+    decomposability and smoothness structurally, then verifies
+    determinism {e semantically} by enumerating all assignments over the
+    root's variables and evaluating every reachable node under each —
+    trusting neither the compiler's cached variable sets nor its
+    structural guarantees. *)
+module Check : sig
+  type report = {
+    nodes_checked : int;  (** reachable nodes visited *)
+    and_nodes : int;
+    or_nodes : int;
+    assignments : int;  (** assignments enumerated for determinism *)
+  }
+
+  val check : ?max_vars:int -> ?formula:Bform.t -> t -> (report, string) result
+  (** [check c] is [Ok report] iff every reachable ∧ is decomposable,
+      every reachable ∨ is smooth and deterministic, and child ids are
+      topologically ordered.  With [formula], additionally checks the
+      circuit is logically equivalent to it under every enumerated
+      assignment.  Determinism/equivalence enumeration needs
+      [2^|vars|] evaluations, so circuits over more than [max_vars]
+      (default [16]) variables are an [Error] rather than silently
+      unverified. *)
+end

@@ -28,6 +28,8 @@
 
 let now = Unix.gettimeofday
 
+type backend = [ `Auto | `Conditioning | `Circuit ]
+
 type t = {
   query : Query.t;
   db : Database.t;
@@ -35,6 +37,8 @@ type t = {
   n : int;
   jobs : int;
   cache_capacity : int;
+  backend : [ `Conditioning | `Circuit ]; (* resolved *)
+  auto_selected : bool; (* resolution picked `Circuit without being asked *)
   phi : Bform.t;
   memo : Compile.Memo.t;
   factorials : Bigint.t array; (* 0! .. n! *)
@@ -44,11 +48,23 @@ type t = {
   mutable par : Stats.domain_stat array; (* last batched parallel run *)
   mutable compile_s : float;
   mutable eval_s : float;
+  mutable circuit : Circuit.t option; (* compiled on first circuit answer *)
+  mutable circuit_eval : (Poly.Z.t * (Fact.t, Poly.Z.t) Hashtbl.t) option;
+  mutable circuit_compile_s : float;
+  mutable circuit_traverse_s : float;
 }
 
 let default_cache_capacity = 1 lsl 20
 
-let create ?(cache_capacity = default_cache_capacity) ?(jobs = 1) query db =
+(* At this many endogenous facts the n conditionings of a batched run are
+   expected to lose to one circuit compilation + two traversals, so `Auto
+   switches backends.  Only the serial path auto-switches: the circuit
+   evaluator is a whole-universe pass with nothing per-fact to fan out,
+   so at jobs > 1 the user's ask for parallel conditioning wins. *)
+let circuit_threshold = 24
+
+let create ?(cache_capacity = default_cache_capacity) ?(jobs = 1)
+    ?(backend = `Auto) query db =
   let jobs =
     if jobs < 0 then invalid_arg "Engine.create: jobs must be >= 0"
     else if jobs = 0 then Pool.recommended_domains ()
@@ -59,6 +75,14 @@ let create ?(cache_capacity = default_cache_capacity) ?(jobs = 1) query db =
   let compile_s = now () -. t0 in
   let players = Array.of_list (Database.endo_list db) in
   let n = Array.length players in
+  let resolved, auto_selected =
+    match backend with
+    | `Conditioning -> (`Conditioning, false)
+    | `Circuit -> (`Circuit, false)
+    | `Auto ->
+      if jobs = 1 && n >= circuit_threshold then (`Circuit, true)
+      else (`Conditioning, false)
+  in
   {
     query;
     db;
@@ -66,6 +90,8 @@ let create ?(cache_capacity = default_cache_capacity) ?(jobs = 1) query db =
     n;
     jobs;
     cache_capacity;
+    backend = resolved;
+    auto_selected;
     phi;
     memo = Compile.Memo.create ~capacity:cache_capacity ();
     factorials = Bigint.factorial_table n;
@@ -75,12 +101,18 @@ let create ?(cache_capacity = default_cache_capacity) ?(jobs = 1) query db =
     par = [||];
     compile_s;
     eval_s = 0.;
+    circuit = None;
+    circuit_eval = None;
+    circuit_compile_s = 0.;
+    circuit_traverse_s = 0.;
   }
 
 let query t = t.query
 let database t = t.db
 let lineage t = t.phi
 let jobs t = t.jobs
+let backend t = t.backend
+let auto_selected t = t.auto_selected
 
 (* The Claim A.1 arithmetic with the factorials shared across terms:
    Sh(μ) = Σ_j j!(n-j-1)!/n! · (FGMC_j(Dₙ∖μ, Dₓ∪μ) - FGMC_j(Dₙ∖μ, Dₓ)). *)
@@ -106,32 +138,74 @@ let conditioned t mu b ~universe =
   Compile.size_polynomial_with ~memo:t.memo ~universe
     (Bform.condition mu b t.phi)
 
+(* The circuit backend: compile the lineage into a d-DNNF once, then one
+   bottom-up + one top-down traversal reads every fact's [with_mu_exo]
+   polynomial (and the full count) off the circuit — zero per-fact
+   conditionings.  Both steps are lazy and cached, so every entry point
+   ([svc], [svc_all], [banzhaf], [fgmc_polynomial]) shares them. *)
+let circuit_of t =
+  match t.circuit with
+  | Some c -> c
+  | None ->
+    let t0 = now () in
+    let c = Circuit.compile ~cache_capacity:t.cache_capacity t.phi in
+    t.circuit_compile_s <- t.circuit_compile_s +. (now () -. t0);
+    t.circuit <- Some c;
+    c
+
+let circuit_evaluation t =
+  match t.circuit_eval with
+  | Some e -> e
+  | None ->
+    let c = circuit_of t in
+    let t0 = now () in
+    let ev = Circuit.evaluate c ~universe:(Array.to_list t.players) in
+    t.circuit_traverse_s <- t.circuit_traverse_s +. (now () -. t0);
+    let tbl = Hashtbl.create (max 16 (Array.length ev.Circuit.by_fact)) in
+    Array.iter (fun (f, p) -> Hashtbl.replace tbl f p) ev.Circuit.by_fact;
+    t.full <- Some ev.Circuit.full;
+    let e = (ev.Circuit.full, tbl) in
+    t.circuit_eval <- Some e;
+    e
+
 (* C(φ, U), the size polynomial of the unconditioned lineage over all n
    players, computed once and reused by every per-fact query. *)
 let full_polynomial t =
   match t.full with
   | Some p -> p
   | None ->
-    t.conditionings <- t.conditionings + 1;
-    let p =
-      Compile.size_polynomial_with ~memo:t.memo
-        ~universe:(Array.to_list t.players) t.phi
-    in
-    t.full <- Some p;
-    p
+    (match t.backend with
+     | `Circuit -> fst (circuit_evaluation t)
+     | `Conditioning ->
+       t.conditionings <- t.conditionings + 1;
+       let p =
+         Compile.size_polynomial_with ~memo:t.memo
+           ~universe:(Array.to_list t.players) t.phi
+       in
+       t.full <- Some p;
+       p)
 
 (* Splitting C(φ, U) by membership of μ gives the exact identity
      C(φ, U) = z·C(φ[μ:=1], U∖{μ}) + C(φ[μ:=0], U∖{μ}),
    so a single conditioning per fact suffices: the [without_mu] polynomial
-   is recovered from the shared full count by a polynomial subtraction. *)
+   is recovered from the shared full count by a polynomial subtraction.
+   The circuit backend reads [with_mu_exo] off the shared evaluation
+   instead — the same identity then applies verbatim. *)
 let polynomials t mu =
-  let full = full_polynomial t in
-  let universe =
-    List.filter (fun f -> not (Fact.equal f mu)) (Array.to_list t.players)
-  in
-  let with_mu_exo = conditioned t mu true ~universe in
-  let without_mu = Poly.Z.sub full (Poly.Z.shift 1 with_mu_exo) in
-  (with_mu_exo, without_mu)
+  match t.backend with
+  | `Conditioning ->
+    let full = full_polynomial t in
+    let universe =
+      List.filter (fun f -> not (Fact.equal f mu)) (Array.to_list t.players)
+    in
+    let with_mu_exo = conditioned t mu true ~universe in
+    let without_mu = Poly.Z.sub full (Poly.Z.shift 1 with_mu_exo) in
+    (with_mu_exo, without_mu)
+  | `Circuit ->
+    let full, by_fact = circuit_evaluation t in
+    let with_mu_exo = Hashtbl.find by_fact mu in
+    let without_mu = Poly.Z.sub full (Poly.Z.shift 1 with_mu_exo) in
+    (with_mu_exo, without_mu)
 
 let svc t mu =
   if not (Database.mem_endo mu t.db) then
@@ -207,7 +281,8 @@ let banzhaf_value_of t ~with_mu_exo ~without_mu =
   Rational.make delta (Bigint.pow Bigint.two (t.n - 1))
 
 let svc_all t =
-  if t.jobs > 1 then batched_parallel t ~value_of:(shapley_value_of t)
+  if t.backend = `Conditioning && t.jobs > 1 then
+    batched_parallel t ~value_of:(shapley_value_of t)
   else Array.to_list (Array.map (fun f -> (f, svc t f)) t.players)
 
 let banzhaf t mu =
@@ -220,7 +295,8 @@ let banzhaf t mu =
   v
 
 let banzhaf_all t =
-  if t.jobs > 1 then batched_parallel t ~value_of:(banzhaf_value_of t)
+  if t.backend = `Conditioning && t.jobs > 1 then
+    batched_parallel t ~value_of:(banzhaf_value_of t)
   else Array.to_list (Array.map (fun f -> (f, banzhaf t f)) t.players)
 
 let fgmc_polynomial t = full_polynomial t
@@ -240,4 +316,27 @@ let stats t =
     domains = t.par;
     compile_s = t.compile_s;
     eval_s = t.eval_s;
+    backend = (match t.backend with
+        | `Conditioning -> "conditioning"
+        | `Circuit -> "circuit");
+    circuit_nodes = (match t.circuit with
+        | Some c -> Circuit.node_count c
+        | None -> 0);
+    circuit_edges = (match t.circuit with
+        | Some c -> Circuit.edge_count c
+        | None -> 0);
+    circuit_smoothing = (match t.circuit with
+        | Some c -> Circuit.smoothing_nodes c
+        | None -> 0);
+    circuit_cache_hits = (match t.circuit with
+        | Some c -> Circuit.cache_hits c
+        | None -> 0);
+    circuit_cache_misses = (match t.circuit with
+        | Some c -> Circuit.cache_misses c
+        | None -> 0);
+    circuit_cache_drops = (match t.circuit with
+        | Some c -> Circuit.cache_drops c
+        | None -> 0);
+    circuit_compile_s = t.circuit_compile_s;
+    circuit_traverse_s = t.circuit_traverse_s;
   }

@@ -42,14 +42,44 @@ type t
 (** A compiled engine for one (query, database) pair.  Mutable only in its
     instrumentation and cache; all answers are deterministic. *)
 
-val create : ?cache_capacity:int -> ?jobs:int -> Query.t -> Database.t -> t
+type backend = [ `Auto | `Conditioning | `Circuit ]
+(** The evaluation strategy for batched answers:
+
+    - [`Conditioning]: the PR-3 path — one conditioned size-polynomial
+      count per fact against the shared memo cache (parallelizable);
+    - [`Circuit]: compile the lineage once into a smoothed deterministic
+      decomposable NNF circuit ({!Circuit}) and read {e every} fact's
+      polynomial off it with one bottom-up + one top-down traversal — no
+      per-fact conditioning at all;
+    - [`Auto] (the default): [`Circuit] when the instance is serial
+      ([jobs = 1]) and has at least {!circuit_threshold} endogenous
+      facts — where the per-fact conditionings start to dominate —
+      [`Conditioning] otherwise.
+
+    Both backends return bit-identical values in the same order. *)
+
+val circuit_threshold : int
+(** Endogenous-fact count at which [`Auto] switches to [`Circuit]. *)
+
+val create :
+  ?cache_capacity:int -> ?jobs:int -> ?backend:backend -> Query.t ->
+  Database.t -> t
 (** Compiles the lineage (the single compilation of the engine's life).
     [cache_capacity] bounds the number of memoized sub-formulas (default
-    [2{^20}]; results past the bound are recomputed, never wrong).
-    [jobs] sets the worker-domain count for batched runs: default [1]
-    (fully serial, no domain ever spawned), [0] resolves to
-    {!Pool.recommended_domains}.
+    [2{^20}]; results past the bound are recomputed, never wrong) — under
+    [`Circuit] the same bound applies to the circuit compiler's
+    formula→node cache.  [jobs] sets the worker-domain count for batched
+    runs: default [1] (fully serial, no domain ever spawned), [0] resolves
+    to {!Pool.recommended_domains}; the circuit backend is always serial.
+    [backend] selects the evaluation strategy (default [`Auto]).
     @raise Invalid_argument if [jobs < 0]. *)
+
+val backend : t -> [ `Conditioning | `Circuit ]
+(** The resolved backend. *)
+
+val auto_selected : t -> bool
+(** [true] iff [`Auto] resolution picked the circuit backend (lets the
+    CLI announce the switch). *)
 
 val query : t -> Query.t
 val database : t -> Database.t

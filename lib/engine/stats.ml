@@ -19,12 +19,24 @@ type t = {
   domains : domain_stat array;
   compile_s : float;
   eval_s : float;
+  backend : string;
+  circuit_nodes : int;
+  circuit_edges : int;
+  circuit_smoothing : int;
+  circuit_cache_hits : int;
+  circuit_cache_misses : int;
+  circuit_cache_drops : int;
+  circuit_compile_s : float;
+  circuit_traverse_s : float;
 }
 
 let zero =
   { players = 0; compilations = 0; conditionings = 0; cache_hits = 0;
     cache_misses = 0; cache_size = 0; cache_capacity = 0; cache_drops = 0;
-    poly_ops = 0; jobs = 1; domains = [||]; compile_s = 0.; eval_s = 0. }
+    poly_ops = 0; jobs = 1; domains = [||]; compile_s = 0.; eval_s = 0.;
+    backend = "conditioning"; circuit_nodes = 0; circuit_edges = 0;
+    circuit_smoothing = 0; circuit_cache_hits = 0; circuit_cache_misses = 0;
+    circuit_cache_drops = 0; circuit_compile_s = 0.; circuit_traverse_s = 0. }
 
 let sum_domains proj s = Array.fold_left (fun acc d -> acc + proj d) 0 s.domains
 let par_facts s = sum_domains (fun d -> d.d_facts) s
@@ -37,6 +49,8 @@ let normalize s =
     s with
     compile_s = 0.;
     eval_s = 0.;
+    circuit_compile_s = 0.;
+    circuit_traverse_s = 0.;
     domains = Array.map (fun d -> { d with d_steals = 0 }) s.domains;
   }
 
@@ -65,10 +79,27 @@ let to_string s =
               "  parallel      : %d jobs, %d facts, cache %d hits / %d misses, steals %d\n"
               s.jobs (par_facts s) (par_hits s) (par_misses s) (par_steals s);
           ])
+     @ (if s.backend = "circuit" then
+          [
+            Printf.sprintf "  backend       : %s\n" s.backend;
+            Printf.sprintf "  circuit       : %d nodes / %d edges (%d smoothing)\n"
+              s.circuit_nodes s.circuit_edges s.circuit_smoothing;
+            Printf.sprintf "  circuit cache : %d hits / %d misses / %d drops\n"
+              s.circuit_cache_hits s.circuit_cache_misses s.circuit_cache_drops;
+          ]
+        else [])
      @ [
          Printf.sprintf "  compile time  : %.2fms\n" (ms s.compile_s);
          Printf.sprintf "  eval time  : %.2fms\n" (ms s.eval_s);
-       ])
+       ]
+     @ (if s.backend = "circuit" then
+          [
+            Printf.sprintf "  circuit compile time  : %.2fms\n"
+              (ms s.circuit_compile_s);
+            Printf.sprintf "  circuit traverse time  : %.2fms\n"
+              (ms s.circuit_traverse_s);
+          ]
+        else []))
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)
 
@@ -82,9 +113,16 @@ let to_json s =
      \"cache_capacity\":%s,\"cache_drops\":%d,\"poly_ops\":%d,\
      \"jobs\":%d,\"par_facts\":%d,\"par_cache_hits\":%d,\
      \"par_cache_misses\":%d,\"par_steals\":%d,\
-     \"compile_ms\":%.3f,\"eval_ms\":%.3f}"
+     \"compile_ms\":%.3f,\"eval_ms\":%.3f,\
+     \"backend\":\"%s\",\"circuit_nodes\":%d,\"circuit_edges\":%d,\
+     \"circuit_smoothing\":%d,\"circuit_cache_hits\":%d,\
+     \"circuit_cache_misses\":%d,\"circuit_cache_drops\":%d,\
+     \"circuit_compile_ms\":%.3f,\"circuit_traverse_ms\":%.3f}"
     s.players s.compilations s.conditionings s.cache_hits s.cache_misses
     s.cache_size
     (if s.cache_capacity = max_int then "null" else string_of_int s.cache_capacity)
     s.cache_drops s.poly_ops s.jobs (par_facts s) (par_hits s) (par_misses s)
-    (par_steals s) (ms s.compile_s) (ms s.eval_s)
+    (par_steals s) (ms s.compile_s) (ms s.eval_s) s.backend s.circuit_nodes
+    s.circuit_edges s.circuit_smoothing s.circuit_cache_hits
+    s.circuit_cache_misses s.circuit_cache_drops (ms s.circuit_compile_s)
+    (ms s.circuit_traverse_s)

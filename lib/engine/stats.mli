@@ -17,12 +17,19 @@
       {!domain_stat} per worker slot of the last batched run ([[||]]
       until a batched run happens at [jobs > 1]);
     - [compile_s] / [eval_s]: wall-clock seconds per phase (lineage
-      compilation vs per-fact evaluation).
+      compilation vs per-fact evaluation);
+    - [backend]: ["conditioning"] or ["circuit"] — which evaluation
+      strategy the engine resolved to;
+    - [circuit_*]: the knowledge-compilation backend's metrics (all zero
+      under the conditioning backend): live d-DNNF node/edge counts,
+      nodes spent on smoothing gadgets, the formula→node memo cache
+      counters, and the compile vs traverse wall clock.
 
-    Determinism: for a given (query, database, jobs, capacity), every
-    field is deterministic {e except} the two wall-clock fields and the
-    per-domain [d_steals] (which record scheduling choices).  {!normalize}
-    zeroes exactly those, so two runs of the same workload must satisfy
+    Determinism: for a given (query, database, jobs, capacity, backend),
+    every field is deterministic {e except} the four wall-clock fields and
+    the per-domain [d_steals] (which record scheduling choices).
+    {!normalize} zeroes exactly those, so two runs of the same workload
+    must satisfy
     [normalize s1 = normalize s2] — the regression test for the
     deterministic-merge contract.  The per-slot [d_facts]/[d_hits]/
     [d_misses] are deterministic because work slices are assigned to
@@ -51,6 +58,15 @@ type t = {
   domains : domain_stat array;
   compile_s : float;
   eval_s : float;
+  backend : string;
+  circuit_nodes : int;
+  circuit_edges : int;
+  circuit_smoothing : int;
+  circuit_cache_hits : int;
+  circuit_cache_misses : int;
+  circuit_cache_drops : int;
+  circuit_compile_s : float;
+  circuit_traverse_s : float;
 }
 
 val zero : t
@@ -63,22 +79,29 @@ val par_misses : t -> int
 val par_steals : t -> int
 
 val normalize : t -> t
-(** The deterministic projection: wall-clock fields and per-domain steal
-    counts zeroed, everything else untouched.  Two runs of the same
-    (query, database, jobs, capacity) produce structurally equal
+(** The deterministic projection: wall-clock fields ([compile_s],
+    [eval_s], [circuit_compile_s], [circuit_traverse_s]) and per-domain
+    steal counts zeroed, everything else untouched.  Two runs of the same
+    (query, database, jobs, capacity, backend) produce structurally equal
     normalized records. *)
 
 val to_string : t -> string
 (** Multi-line human-readable block (the [svc eval --stats] output).  At
-    [jobs > 1] a [parallel] line reports the per-domain counters summed. *)
+    [jobs > 1] a [parallel] line reports the per-domain counters summed;
+    under the circuit backend, [backend]/[circuit]/[circuit cache] lines
+    and the circuit wall-clock lines are appended (every wall-clock line
+    ends in [time  : …ms] so one mask covers them all). *)
 
 val to_json : t -> string
 (** One-line JSON object with stable field names ([players],
     [compilations], [conditionings], [cache_hits], [cache_misses],
     [cache_size], [cache_capacity] (JSON [null] when unbounded),
     [cache_drops], [poly_ops], [jobs], [par_facts], [par_cache_hits],
-    [par_cache_misses], [par_steals], [compile_ms], [eval_ms]).  The
-    [par_*] fields aggregate the per-domain counters (all [0] at
-    [jobs = 1]). *)
+    [par_cache_misses], [par_steals], [compile_ms], [eval_ms],
+    [backend], [circuit_nodes], [circuit_edges], [circuit_smoothing],
+    [circuit_cache_hits], [circuit_cache_misses], [circuit_cache_drops],
+    [circuit_compile_ms], [circuit_traverse_ms]).  The [par_*] fields
+    aggregate the per-domain counters (all [0] at [jobs = 1]); the
+    [circuit_*] fields are all [0] under the conditioning backend. *)
 
 val pp : Format.formatter -> t -> unit

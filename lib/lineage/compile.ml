@@ -99,6 +99,7 @@ let components ~rebuild (parts : Bform.t list) : (Bform.t * Fact.Set.t) list =
 
 let and_components = components ~rebuild:Bform.conj
 let or_components = components ~rebuild:Bform.disj
+let conjunct_components = and_components
 
 (* Pick the most frequently occurring variable (fail-first branching). *)
 let pick_variable phi =
@@ -279,3 +280,5 @@ let probability_with ~memo ~prob phi0 =
 
 let probability ~prob phi = probability_with ~memo:true ~prob phi
 let probability_naive ~prob phi = probability_with ~memo:false ~prob phi
+
+let branch_variable = pick_variable

@@ -54,6 +54,18 @@ module Memo : sig
   val clear : t -> unit
 end
 
+val conjunct_components : Bform.t list -> (Bform.t * Fact.Set.t) list
+(** Split the juncts of a conjunction into variable-disjoint groups (the
+    d-DNNF decomposition rule), each rebuilt as one conjunct and tagged
+    with its variable set.  Exposed for the {!Circuit} knowledge compiler,
+    which applies the same rule when building decomposable ∧-nodes. *)
+
+val branch_variable : Bform.t -> Fact.t option
+(** The Shannon branching heuristic (most frequently occurring variable);
+    [None] iff the formula is constant.  Exposed so {!Circuit} expands in
+    the same order as the counter, keeping the two backends' structures —
+    and their cache behaviours — comparable. *)
+
 val one_plus_z_pow : int -> Poly.Z.t
 (** [(1 + z)^k], the size polynomial of the always-true function over [k]
     variables — the padding factor for variables a sub-formula does not

@@ -151,12 +151,13 @@ type case_result = {
   stats : Stats.t;
 }
 
-let eval_case ?cache_capacity ?jobs (c : case) =
-  let e = Engine.create ?cache_capacity ?jobs c.query c.db in
+let eval_case ?cache_capacity ?jobs ?backend (c : case) =
+  let e = Engine.create ?cache_capacity ?jobs ?backend c.query c.db in
   let values = Engine.svc_all e in
   { rcase = c; values; stats = Engine.stats e }
 
-let eval ?cache_capacity ?jobs w = List.map (eval_case ?cache_capacity ?jobs) w.cases
+let eval ?cache_capacity ?jobs ?backend w =
+  List.map (eval_case ?cache_capacity ?jobs ?backend) w.cases
 
 let to_string w =
   let buf = Buffer.create 256 in

@@ -54,11 +54,17 @@ type case_result = {
   stats : Stats.t;
 }
 
-val eval_case : ?cache_capacity:int -> ?jobs:int -> case -> case_result
-val eval : ?cache_capacity:int -> ?jobs:int -> t -> case_result list
-(** [jobs] (default [1]; [0] = auto) is handed to every case's
-    {!Engine.create}: each case fans its per-fact conditionings out
-    across that many domains.  Values are identical for every [jobs]. *)
+val eval_case :
+  ?cache_capacity:int -> ?jobs:int -> ?backend:Engine.backend -> case ->
+  case_result
+val eval :
+  ?cache_capacity:int -> ?jobs:int -> ?backend:Engine.backend -> t ->
+  case_result list
+(** [jobs] (default [1]; [0] = auto) and [backend] (default [`Auto]) are
+    handed to every case's {!Engine.create}: each case fans its per-fact
+    conditionings out across that many domains, or answers from one
+    d-DNNF compilation under the circuit backend.  Values are identical
+    for every [jobs] and every backend. *)
 
 (** {1 Random generation} *)
 

@@ -56,7 +56,7 @@ deterministic; only the wall-clock lines are masked):
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  {"players":4,"compilations":1,"conditionings":5,"cache_hits":5,"cache_misses":11,"cache_size":11,"cache_capacity":1048576,"cache_drops":0,"poly_ops":36,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null}
+  {"players":4,"compilations":1,"conditionings":5,"cache_hits":5,"cache_misses":11,"cache_size":11,"cache_capacity":1048576,"cache_drops":0,"poly_ops":36,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"conditioning","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000}
 
 --jobs fans the per-fact conditioning out across stdlib domains.  Values
 and order are identical to the serial run for every jobs count; each
@@ -94,7 +94,7 @@ as the par_* fields):
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  {"players":4,"compilations":1,"conditionings":5,"cache_hits":0,"cache_misses":6,"cache_size":6,"cache_capacity":1048576,"cache_drops":0,"poly_ops":16,"jobs":4,"par_facts":4,"par_cache_hits":5,"par_cache_misses":5,"par_steals":null,"compile_ms":null,"eval_ms":null}
+  {"players":4,"compilations":1,"conditionings":5,"cache_hits":0,"cache_misses":6,"cache_size":6,"cache_capacity":1048576,"cache_drops":0,"poly_ops":16,"jobs":4,"par_facts":4,"par_cache_hits":5,"par_cache_misses":5,"par_steals":null,"compile_ms":null,"eval_ms":null,"backend":"conditioning","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000}
 
 A negative jobs count errors cleanly:
 
@@ -119,6 +119,66 @@ A tiny cache bound changes the counters (drops appear), never the values:
     poly ops      : 49
     compile time  : [MASKED]
     eval time  : [MASKED]
+
+--backend circuit routes the whole batch through one d-DNNF
+compilation: the values are bit-identical to the conditioning runs
+above, conditionings drop to zero, and the stats grow a circuit block
+(sizes and cache counters are deterministic; the two circuit wall-clock
+lines are masked like the others):
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend circuit --stats \
+  >   | sed -e 's/time  *: .*/time  : [MASKED]/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  engine stats:
+    players       : 4
+    compilations  : 1
+    conditionings : 0
+    cache         : 0 hits / 0 misses / 0 drops (0 entries, capacity 1048576)
+    poly ops      : 0
+    backend       : circuit
+    circuit       : 16 nodes / 19 edges (5 smoothing)
+    circuit cache : 0 hits / 3 misses / 0 drops
+    compile time  : [MASKED]
+    eval time  : [MASKED]
+    circuit compile time  : [MASKED]
+    circuit traverse time  : [MASKED]
+
+The JSON record carries the same circuit fields (the circuit_* time
+masks must not collide with the plain compile_ms/eval_ms ones — the
+patterns below are quote-anchored so they cannot):
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend circuit --stats=json \
+  >   | sed -e 's/"circuit_compile_ms":[0-9.]*/"circuit_compile_ms":null/' \
+  >         -e 's/"circuit_traverse_ms":[0-9.]*/"circuit_traverse_ms":null/' \
+  >         -e 's/"compile_ms":[0-9.]*/"compile_ms":null/' \
+  >         -e 's/"eval_ms":[0-9.]*/"eval_ms":null/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  {"players":4,"compilations":1,"conditionings":0,"cache_hits":0,"cache_misses":0,"cache_size":0,"cache_capacity":1048576,"cache_drops":0,"poly_ops":0,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"circuit","circuit_nodes":16,"circuit_edges":19,"circuit_smoothing":5,"circuit_cache_hits":0,"circuit_cache_misses":3,"circuit_cache_drops":0,"circuit_compile_ms":null,"circuit_traverse_ms":null}
+
+With the default --backend auto, a serial batch over enough endogenous
+facts flips to the circuit backend and notes the choice ahead of the
+values (the threshold is 24; --backend pins either engine explicitly):
+
+  $ for i in $(seq 1 24); do echo "endo R($i)"; done > big.db
+  $ ../../bin/svc_cli.exe eval big.db "R(?x)" | head -4
+  note: auto-selected circuit backend (24 endogenous facts >= 24); --backend overrides
+  R(1)                           1/24  (≈ 0.0417)
+  R(10)                          1/24  (≈ 0.0417)
+  R(11)                          1/24  (≈ 0.0417)
+
+An unknown backend errors cleanly:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend typo
+  svc eval: unknown backend "typo" (expected auto, conditioning or circuit)
+  [2]
 
 The FGMC generating polynomial and total:
 

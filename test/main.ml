@@ -20,6 +20,7 @@ let () =
       ("game", Test_game.suite);
       ("svc", Test_svc.suite);
       ("engine", Test_engine.suite);
+      ("circuit", Test_circuit.suite);
       ("parallel", Test_parallel.suite);
       ("reductions", Test_reductions.suite);
       ("fgmc-to-svc", Test_fgmc_to_svc.suite);

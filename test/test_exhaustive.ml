@@ -81,6 +81,23 @@ let sweep_svc (name, q, universe) =
             if not (Rational.equal v1 v2) then
               Alcotest.failf "SVC mismatch on %s" (Format.asprintf "%a" Database.pp db)))
 
+(* The circuit backend against raw Eq. 2 game enumeration, for EVERY fact
+   of EVERY database over the universe — the knowledge-compilation path
+   gets the same no-gaps treatment as the conditioning one. *)
+let sweep_circuit (name, q, universe) =
+  Alcotest.test_case (name ^ ": circuit backend on all databases") `Slow
+    (fun () ->
+       Gen.iter_databases universe (fun db ->
+           if Database.size_endo db > 0 then
+             let e = Engine.create ~backend:`Circuit q db in
+             List.iter
+               (fun (mu, v) ->
+                  if not (Rational.equal v (Svc.svc_brute q db mu)) then
+                    Alcotest.failf "circuit SVC mismatch on %s at %s"
+                      (Format.asprintf "%a" Database.pp db)
+                      (Fact.to_string mu))
+               (Engine.svc_all e)))
+
 let sweep_sppqe (name, q, universe) =
   Alcotest.test_case (name ^ ": SPPQE on all databases") `Slow (fun () ->
       let p = Rational.of_ints 1 3 in
@@ -151,5 +168,7 @@ let suite =
     (fun entry -> [ sweep_counting entry; sweep_sppqe entry ])
     universes
   @ List.map sweep_svc
+      (List.filter (fun (n, _, _) -> n = "q_RST" || n = "negation") universes)
+  @ List.map sweep_circuit
       (List.filter (fun (n, _, _) -> n = "q_RST" || n = "negation") universes)
   @ [ sweep_lemma41; sweep_constants ]
