@@ -68,7 +68,15 @@ let eval_cmd =
                  $(b,auto) (default: circuit on large serial instances). \
                  Values are identical for every choice.")
   in
-  let run db_path query_str stats cache_capacity jobs backend =
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the run's telemetry spans and write a Chrome \
+                 trace_event JSON file to $(docv) (loadable in Perfetto / \
+                 about:tracing; at $(b,--jobs) N each worker domain gets \
+                 its own trace lane).  Inspect it with \
+                 $(b,svc trace summary).")
+  in
+  let run db_path query_str stats cache_capacity jobs backend trace =
     if jobs < 0 then begin
       Printf.eprintf "svc eval: --jobs must be >= 0 (got %d)\n" jobs;
       exit 2
@@ -87,7 +95,8 @@ let eval_cmd =
     in
     let db = load_db db_path in
     let q = parse_query query_str in
-    let e = Engine.create ?cache_capacity ~jobs ~backend q db in
+    let tel = Telemetry.create ~enabled:(trace <> None) () in
+    let e = Engine.create ~tel ?cache_capacity ~jobs ~backend q db in
     if Engine.auto_selected e then
       Printf.printf
         "note: auto-selected circuit backend (%d endogenous facts >= %d); \
@@ -104,10 +113,20 @@ let eval_cmd =
       sorted;
     let total = List.fold_left (fun acc (_, v) -> Rational.add acc v) Rational.zero values in
     Printf.printf "sum: %s\n" (Rational.to_string total);
-    match stats with
+    (match stats with
+     | None -> ()
+     | Some `Text -> print_string (Stats.to_string (Engine.stats e))
+     | Some `Json -> print_endline (Stats.to_json (Engine.stats e)));
+    match trace with
     | None -> ()
-    | Some `Text -> print_string (Stats.to_string (Engine.stats e))
-    | Some `Json -> print_endline (Stats.to_json (Engine.stats e))
+    | Some path ->
+      (try
+         Telemetry.Export.write_chrome tel path;
+         Printf.printf "trace   : wrote %s (%d spans)\n" path
+           (List.length (Telemetry.events tel))
+       with Sys_error msg ->
+         Printf.eprintf "svc eval: cannot write trace: %s\n" msg;
+         exit 2)
   in
   let doc =
     "Shapley value of every endogenous fact through the batched memoizing \
@@ -116,7 +135,7 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc)
     Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg $ jobs_arg
-          $ backend_arg)
+          $ backend_arg $ trace_arg)
 
 (* ---------------- count ---------------- *)
 
@@ -364,6 +383,41 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ query_opt $ db_opt $ workload_opt $ format_arg $ strict_arg)
 
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let summary_cmd =
+    let file_arg =
+      let doc = "Chrome trace_event JSON file written by $(b,svc eval --trace)." in
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    in
+    let run path =
+      let text =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error msg ->
+          Printf.eprintf "svc trace summary: %s\n" msg;
+          exit 1
+      in
+      match Tracejson.summarize ~name:(Filename.basename path) text with
+      | Ok s -> print_string s
+      | Error msg ->
+        Printf.eprintf "svc trace summary: %s\n" msg;
+        exit 1
+    in
+    let doc =
+      "Validate a trace file against the Chrome trace_event schema and \
+       print a summary (event counts, per-track span counts, per-name \
+       span totals, final counter samples)."
+    in
+    Cmd.v (Cmd.info "summary" ~doc) Term.(const run $ file_arg)
+  in
+  let doc = "Inspect telemetry traces recorded by $(b,svc eval --trace)." in
+  Cmd.group (Cmd.info "trace" ~doc) [ summary_cmd ]
+
 let main =
   let doc =
     "Shapley value computation and model counting for database queries \
@@ -371,6 +425,6 @@ let main =
   in
   Cmd.group (Cmd.info "svc" ~version:"1.0.0" ~doc)
     [ shapley_cmd; eval_cmd; count_cmd; prob_cmd; classify_cmd; reduce_cmd;
-      max_cmd; banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd ]
+      max_cmd; banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -59,9 +59,9 @@ type t = {
   mutable root : int;
   capacity : int;
   mutable smoothing : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable drops : int;
+  hits : Telemetry.Counter.t;
+  misses : Telemetry.Counter.t;
+  drops : Telemetry.Counter.t;
   mutable n_nodes : int; (* reachable from root, frozen at compile *)
   mutable n_edges : int;
 }
@@ -166,10 +166,10 @@ let rec build c cache phi =
   | _ ->
     (match Fcache.find_opt cache phi with
      | Some id ->
-       c.hits <- c.hits + 1;
+       Telemetry.Counter.incr c.hits;
        id
      | None ->
-       c.misses <- c.misses + 1;
+       Telemetry.Counter.incr c.misses;
        let id =
          match phi with
          | Bform.And parts ->
@@ -181,7 +181,7 @@ let rec build c cache phi =
          | _ -> shannon c cache phi
        in
        if Fcache.length cache < c.capacity then Fcache.add cache phi id
-       else c.drops <- c.drops + 1;
+       else Telemetry.Counter.incr c.drops;
        id)
 
 and shannon c cache phi =
@@ -223,8 +223,13 @@ let count_reachable c =
     reach;
   (!nodes, !edges)
 
-let compile ?(cache_capacity = max_int) phi =
+let compile ?(tel = Telemetry.disabled ()) ?(cache_capacity = max_int) phi =
   if cache_capacity < 0 then invalid_arg "Circuit.compile: negative capacity";
+  (* explicit registration order: record fields evaluate in unspecified
+     order, and registry order shows in exporter output *)
+  let hits = Telemetry.counter tel "circuit.cache_hits" in
+  let misses = Telemetry.counter tel "circuit.cache_misses" in
+  let drops = Telemetry.counter tel "circuit.cache_drops" in
   let c =
     {
       nodes = Array.make 64 NTrue;
@@ -234,28 +239,32 @@ let compile ?(cache_capacity = max_int) phi =
       root = 0;
       capacity = cache_capacity;
       smoothing = 0;
-      hits = 0;
-      misses = 0;
-      drops = 0;
+      hits;
+      misses;
+      drops;
       n_nodes = 0;
       n_edges = 0;
     }
   in
-  ignore (alloc c NTrue Fact.Set.empty : int); (* id 0 *)
-  ignore (alloc c NFalse Fact.Set.empty : int); (* id 1 *)
-  c.root <- build c (Fcache.create 256) phi;
+  Telemetry.span tel "circuit.compile" (fun () ->
+      ignore (alloc c NTrue Fact.Set.empty : int); (* id 0 *)
+      ignore (alloc c NFalse Fact.Set.empty : int); (* id 1 *)
+      c.root <- build c (Fcache.create 256) phi);
   let nodes, edges = count_reachable c in
   c.n_nodes <- nodes;
   c.n_edges <- edges;
+  Telemetry.Gauge.set (Telemetry.gauge tel "circuit.nodes") nodes;
+  Telemetry.Gauge.set (Telemetry.gauge tel "circuit.edges") edges;
+  Telemetry.Gauge.set (Telemetry.gauge tel "circuit.smoothing") c.smoothing;
   c
 
 let vars c = c.varsets.(c.root)
 let node_count c = c.n_nodes
 let edge_count c = c.n_edges
 let smoothing_nodes c = c.smoothing
-let cache_hits c = c.hits
-let cache_misses c = c.misses
-let cache_drops c = c.drops
+let cache_hits c = Telemetry.Counter.value c.hits
+let cache_misses c = Telemetry.Counter.value c.misses
+let cache_drops c = Telemetry.Counter.value c.drops
 
 type evaluation = {
   full : Poly.Z.t;
@@ -269,7 +278,7 @@ type evaluation = {
    root polynomial is multilinear in the leaf weights w(μ)=z, w(¬μ)=1,
    so g at the positive literal of μ is Σ_{S ∌ μ, S∪{μ} ⊨ φ} z^|S| —
    exactly C(φ[μ:=1]) over the circuit variables minus μ. *)
-let evaluate c ~universe =
+let evaluate ?(tel = Telemetry.disabled ()) c ~universe =
   let cvars = vars c in
   if not (Fact.Set.subset cvars (Fact.Set.of_list universe)) then
     invalid_arg "Circuit.evaluate: circuit mentions a fact outside the universe";
@@ -309,24 +318,25 @@ let evaluate c ~universe =
   let n = List.length universe in
   let nv = Fact.Set.cardinal cvars in
   let p = Array.make c.len Poly.Z.zero in
-  for id = 0 to c.len - 1 do
-    p.(id) <-
-      (match c.nodes.(id) with
-       | NTrue -> Poly.Z.one
-       | NFalse -> Poly.Z.zero
-       | NLit (_, true) -> Poly.Z.x
-       | NLit (_, false) -> Poly.Z.one
-       | NAnd ch ->
-         let k = ref 0 in
-         let prod = ref Poly.Z.one in
-         Array.iter
-           (fun i -> if gadget.(i) then incr k else prod := mul !prod p.(i))
-           ch;
-         if !k = 0 then !prod else mul !prod (Compile.one_plus_z_pow !k)
-       | NOr ch ->
-         if gadget.(id) then Compile.one_plus_z_pow 1
-         else Array.fold_left (fun acc i -> add acc p.(i)) Poly.Z.zero ch)
-  done;
+  Telemetry.span tel "circuit.bottom_up" (fun () ->
+      for id = 0 to c.len - 1 do
+        p.(id) <-
+          (match c.nodes.(id) with
+           | NTrue -> Poly.Z.one
+           | NFalse -> Poly.Z.zero
+           | NLit (_, true) -> Poly.Z.x
+           | NLit (_, false) -> Poly.Z.one
+           | NAnd ch ->
+             let k = ref 0 in
+             let prod = ref Poly.Z.one in
+             Array.iter
+               (fun i -> if gadget.(i) then incr k else prod := mul !prod p.(i))
+               ch;
+             if !k = 0 then !prod else mul !prod (Compile.one_plus_z_pow !k)
+           | NOr ch ->
+             if gadget.(id) then Compile.one_plus_z_pow 1
+             else Array.fold_left (fun acc i -> add acc p.(i)) Poly.Z.zero ch)
+      done);
   let g = Array.make c.len Poly.Z.zero in
   g.(c.root) <- Poly.Z.one;
   (* Only positive literals are ever read out of g (by_fact), so gradient
@@ -422,6 +432,7 @@ let evaluate c ~universe =
       end
     done
   in
+  Telemetry.span tel "circuit.top_down" (fun () ->
   for id = c.len - 1 downto 0 do
     if not (Poly.Z.is_zero g.(id)) then begin
       match c.nodes.(id) with
@@ -475,7 +486,7 @@ let evaluate c ~universe =
          incr ops;
          running := Poly.Z.sub !running b)
       on_exit.(r)
-  done;
+  done);
   let pad k poly = if k = 0 then poly else mul poly (Compile.one_plus_z_pow k) in
   let full = pad (n - nv) p.(c.root) in
   let by_fact =

@@ -51,10 +51,18 @@ type t
 (** A compiled circuit for one formula.  Immutable once compiled; the
     instrumentation counters are frozen at compile time. *)
 
-val compile : ?cache_capacity:int -> Bform.t -> t
+val compile : ?tel:Telemetry.t -> ?cache_capacity:int -> Bform.t -> t
 (** Compile a lineage formula.  [cache_capacity] bounds the number of
     formula→node memo entries (default unbounded; the bound affects
     compile time, never the result).
+
+    [tel] hosts the circuit's instrumentation: the whole build runs in a
+    [circuit.compile] span, the memo counters live in the registry as
+    [circuit.cache_hits]/[circuit.cache_misses]/[circuit.cache_drops],
+    and the live size lands in the [circuit.nodes]/[circuit.edges]/
+    [circuit.smoothing] gauges.  The default is a private disabled
+    tracer, so the per-circuit accessors below are unshared; compiling
+    twice against the {e same} [tel] accumulates into shared counters.
     @raise Invalid_argument on negative capacity. *)
 
 val vars : t -> Fact.Set.t
@@ -83,9 +91,10 @@ type evaluation = {
   poly_ops : int;  (** polynomial ring operations spent evaluating *)
 }
 
-val evaluate : t -> universe:Fact.t list -> evaluation
+val evaluate : ?tel:Telemetry.t -> t -> universe:Fact.t list -> evaluation
 (** One bottom-up + one top-down traversal; every fact's polynomial from
-    a single compilation, no per-fact conditioning.
+    a single compilation, no per-fact conditioning.  The two sweeps run
+    in [circuit.bottom_up] and [circuit.top_down] spans on [tel].
     @raise Invalid_argument if the circuit mentions a fact outside the
     universe. *)
 

@@ -42,9 +42,10 @@ type t = {
   phi : Bform.t;
   memo : Compile.Memo.t;
   factorials : Bigint.t array; (* 0! .. n! *)
+  tel : Telemetry.t;
+  compilations : Telemetry.Counter.t;
+  conditionings : Telemetry.Counter.t;
   mutable full : Poly.Z.t option; (* count of phi over all n players *)
-  mutable compilations : int;
-  mutable conditionings : int;
   mutable par : Stats.domain_stat array; (* last batched parallel run *)
   mutable compile_s : float;
   mutable eval_s : float;
@@ -63,15 +64,21 @@ let default_cache_capacity = 1 lsl 20
    so at jobs > 1 the user's ask for parallel conditioning wins. *)
 let circuit_threshold = 24
 
-let create ?(cache_capacity = default_cache_capacity) ?(jobs = 1)
-    ?(backend = `Auto) query db =
+let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capacity)
+    ?(jobs = 1) ?(backend = `Auto) query db =
   let jobs =
     if jobs < 0 then invalid_arg "Engine.create: jobs must be >= 0"
     else if jobs = 0 then Pool.recommended_domains ()
     else jobs
   in
+  (* registered here, in this order: record-field evaluation order is
+     unspecified, and the registry's registration order is user-visible
+     in exporter output *)
+  let compilations = Telemetry.counter tel "engine.compilations" in
+  let conditionings = Telemetry.counter tel "engine.conditionings" in
+  Telemetry.Counter.incr compilations;
   let t0 = now () in
-  let phi = Lineage.lineage query db in
+  let phi = Telemetry.span tel "engine.lineage" (fun () -> Lineage.lineage query db) in
   let compile_s = now () -. t0 in
   let players = Array.of_list (Database.endo_list db) in
   let n = Array.length players in
@@ -95,9 +102,10 @@ let create ?(cache_capacity = default_cache_capacity) ?(jobs = 1)
     phi;
     memo = Compile.Memo.create ~capacity:cache_capacity ();
     factorials = Bigint.factorial_table n;
+    tel;
+    compilations;
+    conditionings;
     full = None;
-    compilations = 1;
-    conditionings = 0;
     par = [||];
     compile_s;
     eval_s = 0.;
@@ -134,7 +142,7 @@ let shapley_of_polynomials ~factorials ~with_mu_exo ~without_mu ~n =
   Rational.make !num factorials.(n)
 
 let conditioned t mu b ~universe =
-  t.conditionings <- t.conditionings + 1;
+  Telemetry.Counter.incr t.conditionings;
   Compile.size_polynomial_with ~memo:t.memo ~universe
     (Bform.condition mu b t.phi)
 
@@ -148,7 +156,7 @@ let circuit_of t =
   | Some c -> c
   | None ->
     let t0 = now () in
-    let c = Circuit.compile ~cache_capacity:t.cache_capacity t.phi in
+    let c = Circuit.compile ~tel:t.tel ~cache_capacity:t.cache_capacity t.phi in
     t.circuit_compile_s <- t.circuit_compile_s +. (now () -. t0);
     t.circuit <- Some c;
     c
@@ -159,7 +167,7 @@ let circuit_evaluation t =
   | None ->
     let c = circuit_of t in
     let t0 = now () in
-    let ev = Circuit.evaluate c ~universe:(Array.to_list t.players) in
+    let ev = Circuit.evaluate ~tel:t.tel c ~universe:(Array.to_list t.players) in
     t.circuit_traverse_s <- t.circuit_traverse_s +. (now () -. t0);
     let tbl = Hashtbl.create (max 16 (Array.length ev.Circuit.by_fact)) in
     Array.iter (fun (f, p) -> Hashtbl.replace tbl f p) ev.Circuit.by_fact;
@@ -177,10 +185,11 @@ let full_polynomial t =
     (match t.backend with
      | `Circuit -> fst (circuit_evaluation t)
      | `Conditioning ->
-       t.conditionings <- t.conditionings + 1;
+       Telemetry.Counter.incr t.conditionings;
        let p =
-         Compile.size_polynomial_with ~memo:t.memo
-           ~universe:(Array.to_list t.players) t.phi
+         Telemetry.span t.tel "engine.full" (fun () ->
+             Compile.size_polynomial_with ~memo:t.memo
+               ~universe:(Array.to_list t.players) t.phi)
        in
        t.full <- Some p;
        p)
@@ -207,14 +216,22 @@ let polynomials t mu =
     let without_mu = Poly.Z.sub full (Poly.Z.shift 1 with_mu_exo) in
     (with_mu_exo, without_mu)
 
+(* Per-fact span; the attribute list is only built when someone will read
+   it, so the disabled-tracer path stays allocation-free. *)
+let fact_span t mu f =
+  if Telemetry.enabled t.tel then
+    Telemetry.span t.tel ~attrs:[ ("fact", Fact.to_string mu) ] "engine.fact" f
+  else f ()
+
 let svc t mu =
   if not (Database.mem_endo mu t.db) then
     invalid_arg "Engine.svc: fact is not endogenous";
   let t0 = now () in
-  let with_mu_exo, without_mu = polynomials t mu in
   let v =
-    shapley_of_polynomials ~factorials:t.factorials ~with_mu_exo ~without_mu
-      ~n:t.n
+    fact_span t mu (fun () ->
+        let with_mu_exo, without_mu = polynomials t mu in
+        shapley_of_polynomials ~factorials:t.factorials ~with_mu_exo
+          ~without_mu ~n:t.n)
   in
   t.eval_s <- t.eval_s +. (now () -. t0);
   v
@@ -232,8 +249,26 @@ let batched_parallel t ~value_of =
   let full = full_polynomial t in
   let n = t.n and jobs = t.jobs in
   let all_players = Array.to_list t.players in
+  (* One trace track per worker slot: slice spans land on the lane of the
+     slot that owns them, giving the Chrome view one row per domain.
+     Forked here (the owning domain), handed to exactly one worker each,
+     joined back after the pool's own Domain.joins. *)
+  let slot_tels =
+    Array.init jobs (fun slot ->
+        Telemetry.fork t.tel ~track:(slot + 1)
+          ~name:(Printf.sprintf "domain %d" slot))
+  in
   let evaluate_slot slot =
     let lo = slot * n / jobs and hi = (slot + 1) * n / jobs in
+    let stel = slot_tels.(slot) in
+    Telemetry.span stel
+      ~attrs:
+        (if Telemetry.enabled stel then
+           [ ("slot", string_of_int slot);
+             ("facts", string_of_int (hi - lo)) ]
+         else [])
+      "engine.slice"
+    @@ fun () ->
     (* Warm-start the private cache from the engine's shared one, which
        already holds every sub-result of the full polynomial and is
        read-only for the duration of the fan-out (copying is sound from
@@ -261,16 +296,22 @@ let batched_parallel t ~value_of =
   let slots, pool_stats =
     Pool.map_stats ~chunk:1 pool evaluate_slot (Array.init jobs Fun.id)
   in
-  t.conditionings <- t.conditionings + n;
-  t.par <-
-    Array.mapi
-      (fun i (_, facts, hits, misses) ->
-         { Stats.d_facts = facts; d_hits = hits; d_misses = misses;
-           d_steals = pool_stats.Pool.steals.(i) })
-      slots;
+  Array.iter (fun stel -> Telemetry.join t.tel stel) slot_tels;
+  Telemetry.Counter.add t.conditionings n;
+  let merged =
+    Telemetry.span t.tel "engine.merge" (fun () ->
+        t.par <-
+          Array.mapi
+            (fun i (_, facts, hits, misses) ->
+               { Stats.d_facts = facts; d_hits = hits; d_misses = misses;
+                 d_steals = pool_stats.Pool.steals.(i) })
+            slots;
+        Array.to_list
+          (Array.concat
+             (List.map (fun (vs, _, _, _) -> vs) (Array.to_list slots))))
+  in
   t.eval_s <- t.eval_s +. (now () -. t0);
-  Array.to_list
-    (Array.concat (List.map (fun (vs, _, _, _) -> vs) (Array.to_list slots)))
+  merged
 
 let shapley_value_of t ~with_mu_exo ~without_mu =
   shapley_of_polynomials ~factorials:t.factorials ~with_mu_exo ~without_mu
@@ -281,6 +322,7 @@ let banzhaf_value_of t ~with_mu_exo ~without_mu =
   Rational.make delta (Bigint.pow Bigint.two (t.n - 1))
 
 let svc_all t =
+  Telemetry.span t.tel "engine.eval" @@ fun () ->
   if t.backend = `Conditioning && t.jobs > 1 then
     batched_parallel t ~value_of:(shapley_value_of t)
   else Array.to_list (Array.map (fun f -> (f, svc t f)) t.players)
@@ -289,23 +331,29 @@ let banzhaf t mu =
   if not (Database.mem_endo mu t.db) then
     invalid_arg "Engine.banzhaf: fact is not endogenous";
   let t0 = now () in
-  let with_mu_exo, without_mu = polynomials t mu in
-  let v = banzhaf_value_of t ~with_mu_exo ~without_mu in
+  let v =
+    fact_span t mu (fun () ->
+        let with_mu_exo, without_mu = polynomials t mu in
+        banzhaf_value_of t ~with_mu_exo ~without_mu)
+  in
   t.eval_s <- t.eval_s +. (now () -. t0);
   v
 
 let banzhaf_all t =
+  Telemetry.span t.tel "engine.eval" @@ fun () ->
   if t.backend = `Conditioning && t.jobs > 1 then
     batched_parallel t ~value_of:(banzhaf_value_of t)
   else Array.to_list (Array.map (fun f -> (f, banzhaf t f)) t.players)
 
 let fgmc_polynomial t = full_polynomial t
 
+let telemetry t = t.tel
+
 let stats t =
   {
     Stats.players = t.n;
-    compilations = t.compilations;
-    conditionings = t.conditionings;
+    compilations = Telemetry.Counter.value t.compilations;
+    conditionings = Telemetry.Counter.value t.conditionings;
     cache_hits = Compile.Memo.hits t.memo;
     cache_misses = Compile.Memo.misses t.memo;
     cache_size = Compile.Memo.length t.memo;
@@ -339,4 +387,5 @@ let stats t =
         | None -> 0);
     circuit_compile_s = t.circuit_compile_s;
     circuit_traverse_s = t.circuit_traverse_s;
+    span_s = Telemetry.aggregate t.tel;
   }

@@ -62,8 +62,8 @@ val circuit_threshold : int
 (** Endogenous-fact count at which [`Auto] switches to [`Circuit]. *)
 
 val create :
-  ?cache_capacity:int -> ?jobs:int -> ?backend:backend -> Query.t ->
-  Database.t -> t
+  ?tel:Telemetry.t -> ?cache_capacity:int -> ?jobs:int -> ?backend:backend ->
+  Query.t -> Database.t -> t
 (** Compiles the lineage (the single compilation of the engine's life).
     [cache_capacity] bounds the number of memoized sub-formulas (default
     [2{^20}]; results past the bound are recomputed, never wrong) — under
@@ -72,6 +72,18 @@ val create :
     runs: default [1] (fully serial, no domain ever spawned), [0] resolves
     to {!Pool.recommended_domains}; the circuit backend is always serial.
     [backend] selects the evaluation strategy (default [`Auto]).
+
+    [tel] (default: a private disabled tracer, making every span a free
+    no-op) hosts the engine's whole instrumentation: the
+    [engine.compilations]/[engine.conditionings] counters live in its
+    registry — {!stats} is a projection of it, not a separate record —
+    and, when enabled, the run is recorded as spans: [engine.lineage]
+    (the one compilation), [engine.eval] per batched entry point,
+    [engine.full] (the unconditioned polynomial), [engine.fact] per
+    fact on the serial path, [engine.slice] per worker slot on track
+    [slot + 1] at [jobs > 1] (one Chrome lane per domain), and
+    [engine.merge] for the deterministic merge; the circuit backend adds
+    {!Circuit}'s [circuit.*] spans, counters and gauges.
     @raise Invalid_argument if [jobs < 0]. *)
 
 val backend : t -> [ `Conditioning | `Circuit ]
@@ -112,6 +124,12 @@ val fgmc_polynomial : t -> Poly.Z.t
     the same shared cache. *)
 
 val stats : t -> Stats.t
+(** Projection of the engine's telemetry registry (plus the engine's own
+    wall clocks) into the pinned {!Stats.t} shape; [span_s] carries
+    {!Telemetry.aggregate} of the engine's tracer. *)
+
+val telemetry : t -> Telemetry.t
+(** The tracer given to (or created by) {!create}. *)
 
 val shapley_of_polynomials :
   factorials:Bigint.t array ->

@@ -28,6 +28,7 @@ type t = {
   circuit_cache_drops : int;
   circuit_compile_s : float;
   circuit_traverse_s : float;
+  span_s : (string * int * float) array;
 }
 
 let zero =
@@ -36,7 +37,8 @@ let zero =
     poly_ops = 0; jobs = 1; domains = [||]; compile_s = 0.; eval_s = 0.;
     backend = "conditioning"; circuit_nodes = 0; circuit_edges = 0;
     circuit_smoothing = 0; circuit_cache_hits = 0; circuit_cache_misses = 0;
-    circuit_cache_drops = 0; circuit_compile_s = 0.; circuit_traverse_s = 0. }
+    circuit_cache_drops = 0; circuit_compile_s = 0.; circuit_traverse_s = 0.;
+    span_s = [||] }
 
 let sum_domains proj s = Array.fold_left (fun acc d -> acc + proj d) 0 s.domains
 let par_facts s = sum_domains (fun d -> d.d_facts) s
@@ -52,6 +54,9 @@ let normalize s =
     circuit_compile_s = 0.;
     circuit_traverse_s = 0.;
     domains = Array.map (fun d -> { d with d_steals = 0 }) s.domains;
+    (* span counts are deterministic; only the accumulated durations are
+       wall clock *)
+    span_s = Array.map (fun (name, count, _) -> (name, count, 0.)) s.span_s;
   }
 
 let ms s = s *. 1000.
@@ -99,7 +104,14 @@ let to_string s =
             Printf.sprintf "  circuit traverse time  : %.2fms\n"
               (ms s.circuit_traverse_s);
           ]
-        else []))
+        else [])
+     @ (if Array.length s.span_s = 0 then []
+        else
+          "  spans:\n"
+          :: (Array.to_list s.span_s
+              |> List.map (fun (name, count, dur) ->
+                     Printf.sprintf "    %-28s %4dx  time  : %.2fms\n" name
+                       count (ms dur)))))
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)
 

@@ -67,6 +67,11 @@ type t = {
   circuit_cache_drops : int;
   circuit_compile_s : float;
   circuit_traverse_s : float;
+  span_s : (string * int * float) array;
+      (** telemetry span rollup: (span name, completions, total seconds),
+          sorted by name — [Telemetry.aggregate] of the run's tracer.
+          Empty when the engine ran without an enabled tracer.  Not part
+          of {!to_json} (the pinned JSON shape predates telemetry). *)
 }
 
 val zero : t
@@ -80,17 +85,20 @@ val par_steals : t -> int
 
 val normalize : t -> t
 (** The deterministic projection: wall-clock fields ([compile_s],
-    [eval_s], [circuit_compile_s], [circuit_traverse_s]) and per-domain
-    steal counts zeroed, everything else untouched.  Two runs of the same
-    (query, database, jobs, capacity, backend) produce structurally equal
-    normalized records. *)
+    [eval_s], [circuit_compile_s], [circuit_traverse_s]), per-domain
+    steal counts, and the durations inside [span_s] zeroed (span {e
+    counts} are deterministic and kept), everything else untouched.  Two
+    runs of the same (query, database, jobs, capacity, backend) produce
+    structurally equal normalized records. *)
 
 val to_string : t -> string
 (** Multi-line human-readable block (the [svc eval --stats] output).  At
     [jobs > 1] a [parallel] line reports the per-domain counters summed;
     under the circuit backend, [backend]/[circuit]/[circuit cache] lines
     and the circuit wall-clock lines are appended (every wall-clock line
-    ends in [time  : …ms] so one mask covers them all). *)
+    ends in [time  : …ms] so one mask covers them all).  When [span_s]
+    is non-empty a [spans:] block is appended, one [time  : …ms] line
+    per span name. *)
 
 val to_json : t -> string
 (** One-line JSON object with stable field names ([players],

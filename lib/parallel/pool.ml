@@ -17,7 +17,7 @@ let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
 type stats = { claims : int array; steals : int array }
 
-let map_stats ?chunk pool f arr =
+let map_stats ?(tel = Telemetry.disabled ()) ?chunk pool f arr =
   let n = Array.length arr in
   let d = pool.n_domains in
   let chunk =
@@ -29,6 +29,13 @@ let map_stats ?chunk pool f arr =
   let claims = Array.make d 0 in
   if n = 0 then ([||], { claims; steals = Array.make d 0 })
   else begin
+    (* One child tracer per worker slot, forked here in the calling
+       domain: workers may not touch a tracer they don't own. *)
+    let tels =
+      Array.init d (fun w ->
+          Telemetry.fork tel ~track:(w + 1)
+            ~name:(Printf.sprintf "worker %d" w))
+    in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     (* First exception wins by CAS; its presence tells every worker to
@@ -38,6 +45,7 @@ let map_stats ?chunk pool f arr =
     in
     let worker w =
       try
+        let wt = tels.(w) in
         let continue = ref true in
         while !continue do
           if Atomic.get failure <> None then continue := false
@@ -47,9 +55,15 @@ let map_stats ?chunk pool f arr =
             else begin
               claims.(w) <- claims.(w) + 1;
               let hi = min n (lo + chunk) in
-              for i = lo to hi - 1 do
-                results.(i) <- Some (f arr.(i))
-              done
+              let attrs =
+                if Telemetry.enabled wt then
+                  [ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+                else []
+              in
+              Telemetry.span wt ~attrs "pool.chunk" (fun () ->
+                  for i = lo to hi - 1 do
+                    results.(i) <- Some (f arr.(i))
+                  done)
             end
           end
         done
@@ -66,6 +80,12 @@ let map_stats ?chunk pool f arr =
     in
     worker 0;
     List.iter Domain.join spawned;
+    Array.iter (fun wt -> Telemetry.join tel wt) tels;
+    let total_claims = Array.fold_left ( + ) 0 claims in
+    Telemetry.Counter.add (Telemetry.counter tel "pool.chunks") total_claims;
+    Telemetry.Counter.add
+      (Telemetry.counter tel "pool.steals")
+      (Array.fold_left (fun acc c -> acc + max 0 (c - 1)) 0 claims);
     (match Atomic.get failure with
      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
      | None -> ());

@@ -52,5 +52,14 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     (default: [length / (4 * domains)], floored at 1).
     @raise Invalid_argument if [chunk < 1]. *)
 
-val map_stats : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array * stats
-(** As {!map}, also reporting per-worker scheduling counters. *)
+val map_stats :
+  ?tel:Telemetry.t -> ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array * stats
+(** As {!map}, also reporting per-worker scheduling counters.
+
+    [tel] (default: disabled) records one [pool.chunk] span per claimed
+    chunk, on a per-worker-slot trace track ([worker w] ↦ track [w + 1],
+    forked in the calling domain and joined back after the workers), and
+    accumulates the run's totals into the [pool.chunks] and
+    [pool.steals] counters.  Chunk-to-worker assignment — and therefore
+    which track a given span lands on — is scheduling-dependent; the
+    total span count equals the total claims whatever the schedule. *)

@@ -1,8 +1,13 @@
 type prob_oracle = (Database.t, Rational.t) Oracle.t
 type count_oracle = (Database.t, Bigint.t) Oracle.t
 
-let pqe_half_one_of q = Oracle.make (fun db -> Pqe.pqe_half_one q db)
-let gmc_of q = Oracle.make (fun db -> Model_counting.gmc q db)
+let pqe_half_one_of ?tel q =
+  let name = match tel with None -> None | Some _ -> Some "oracle.pqe_half_one" in
+  Oracle.make ?tel ?name (fun db -> Pqe.pqe_half_one q db)
+
+let gmc_of ?tel q =
+  let name = match tel with None -> None | Some _ -> Some "oracle.gmc" in
+  Oracle.make ?tel ?name (fun db -> Model_counting.gmc q db)
 
 let gmc_via_half_one ~pqe db =
   let n = Database.size_endo db in

@@ -6,8 +6,12 @@
 type prob_oracle = (Database.t, Rational.t) Oracle.t
 type count_oracle = (Database.t, Bigint.t) Oracle.t
 
-val pqe_half_one_of : Query.t -> prob_oracle
-val gmc_of : Query.t -> count_oracle
+val pqe_half_one_of : ?tel:Telemetry.t -> Query.t -> prob_oracle
+(** With [?tel], counts calls in its registry as [oracle.pqe_half_one]
+    (likewise [oracle.gmc] below) — same convention as {!Oracle}'s
+    reference constructors. *)
+
+val gmc_of : ?tel:Telemetry.t -> Query.t -> count_oracle
 
 val gmc_via_half_one : pqe:prob_oracle -> Database.t -> Bigint.t
 (** One oracle call. *)

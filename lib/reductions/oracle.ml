@@ -1,13 +1,21 @@
-type ('q, 'a) t = { f : 'q -> 'a; mutable count : int }
+type ('q, 'a) t = { f : 'q -> 'a; counter : Telemetry.Counter.t }
 
-let make f = { f; count = 0 }
+let make ?tel ?name f =
+  let counter =
+    match (tel, name) with
+    | Some tel, Some name -> Telemetry.counter tel name
+    | Some _, None | None, Some _ ->
+      invalid_arg "Oracle.make: tel and name must be given together"
+    | None, None -> Telemetry.Counter.create ()
+  in
+  { f; counter }
 
 let call o q =
-  o.count <- o.count + 1;
+  Telemetry.Counter.incr o.counter;
   o.f q
 
-let calls o = o.count
-let reset o = o.count <- 0
+let calls o = Telemetry.Counter.value o.counter
+let reset o = Telemetry.Counter.reset o.counter
 
 type svc = (Database.t * Fact.t, Rational.t) t
 type fgmc = (Database.t * int, Bigint.t) t
@@ -15,13 +23,37 @@ type sppqe = (Database.t * Rational.t, Rational.t) t
 type max_svc = (Database.t, (Fact.t * Rational.t) option) t
 type svc_const = (Const_svc.instance * string, Rational.t) t
 
-let svc_of q = make (fun (db, mu) -> Svc.svc q db mu)
-let svc_brute_of q = make (fun (db, mu) -> Svc.svc_brute q db mu)
-let fgmc_of q = make (fun (db, n) -> Model_counting.fgmc q db n)
-let fgmc_brute_of q = make (fun (db, n) -> Model_counting.fgmc_brute q db n)
-let sppqe_of q = make (fun (db, p) -> Pqe.sppqe q db p)
-let max_svc_of q = make (fun db -> Max_svc.max_svc q db)
-let svc_const_of q = make (fun (inst, c) -> Const_svc.svc_const q inst c)
+(* One registry counter per Figure 1a arrow endpoint: a reduction handed
+   a tracer reports its oracle traffic under a stable [oracle.*] name. *)
+let named tel name = match tel with None -> (None, None) | Some _ -> (tel, Some name)
+
+let svc_of ?tel q =
+  let tel, name = named tel "oracle.svc" in
+  make ?tel ?name (fun (db, mu) -> Svc.svc q db mu)
+
+let svc_brute_of ?tel q =
+  let tel, name = named tel "oracle.svc_brute" in
+  make ?tel ?name (fun (db, mu) -> Svc.svc_brute q db mu)
+
+let fgmc_of ?tel q =
+  let tel, name = named tel "oracle.fgmc" in
+  make ?tel ?name (fun (db, n) -> Model_counting.fgmc q db n)
+
+let fgmc_brute_of ?tel q =
+  let tel, name = named tel "oracle.fgmc_brute" in
+  make ?tel ?name (fun (db, n) -> Model_counting.fgmc_brute q db n)
+
+let sppqe_of ?tel q =
+  let tel, name = named tel "oracle.sppqe" in
+  make ?tel ?name (fun (db, p) -> Pqe.sppqe q db p)
+
+let max_svc_of ?tel q =
+  let tel, name = named tel "oracle.max_svc" in
+  make ?tel ?name (fun db -> Max_svc.max_svc q db)
+
+let svc_const_of ?tel q =
+  let tel, name = named tel "oracle.svc_const" in
+  make ?tel ?name (fun (inst, c) -> Const_svc.svc_const q inst c)
 
 let svc_endo_only o =
   make (fun (db, mu) ->

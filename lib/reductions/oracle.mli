@@ -8,7 +8,13 @@
 
 type ('q, 'a) t
 
-val make : ('q -> 'a) -> ('q, 'a) t
+val make : ?tel:Telemetry.t -> ?name:string -> ('q -> 'a) -> ('q, 'a) t
+(** With [tel] and [name], the call count lives in [tel]'s metrics
+    registry under [name] — two oracles made against the same (tracer,
+    name) share one count, which is exactly how per-arrow totals are
+    collected; without them, the count is a private standalone counter.
+    @raise Invalid_argument if only one of [tel]/[name] is given. *)
+
 val call : ('q, 'a) t -> 'q -> 'a
 val calls : ('q, 'a) t -> int
 val reset : ('q, 'a) t -> unit
@@ -34,15 +40,20 @@ type svc_const = (Const_svc.instance * string, Rational.t) t
 
 (** {1 Reference oracles}
 
-    Default instantiations backed by this library's own solvers. *)
+    Default instantiations backed by this library's own solvers.  Given
+    [?tel], each registers its call counter in the tracer's registry
+    under a stable per-arrow name ([oracle.svc], [oracle.svc_brute],
+    [oracle.fgmc], [oracle.fgmc_brute], [oracle.sppqe],
+    [oracle.max_svc], [oracle.svc_const]) — the FIG1A bench sums the
+    [oracle.*] counters for its per-arrow totals. *)
 
-val svc_of : Query.t -> svc
-val svc_brute_of : Query.t -> svc
-val fgmc_of : Query.t -> fgmc
-val fgmc_brute_of : Query.t -> fgmc
-val sppqe_of : Query.t -> sppqe
-val max_svc_of : Query.t -> max_svc
-val svc_const_of : Query.t -> svc_const
+val svc_of : ?tel:Telemetry.t -> Query.t -> svc
+val svc_brute_of : ?tel:Telemetry.t -> Query.t -> svc
+val fgmc_of : ?tel:Telemetry.t -> Query.t -> fgmc
+val fgmc_brute_of : ?tel:Telemetry.t -> Query.t -> fgmc
+val sppqe_of : ?tel:Telemetry.t -> Query.t -> sppqe
+val max_svc_of : ?tel:Telemetry.t -> Query.t -> max_svc
+val svc_const_of : ?tel:Telemetry.t -> Query.t -> svc_const
 
 val svc_endo_only : svc -> svc
 (** Wrap an SVC oracle so that it refuses databases with exogenous facts —

@@ -21,8 +21,8 @@ val svc_brute : Query.t -> Database.t -> Fact.t -> Rational.t
 (** @raise Invalid_argument if the fact is not endogenous. *)
 
 val svc_all :
-  ?jobs:int -> ?backend:Engine.backend -> Query.t -> Database.t ->
-  (Fact.t * Rational.t) list
+  ?tel:Telemetry.t -> ?jobs:int -> ?backend:Engine.backend -> Query.t ->
+  Database.t -> (Fact.t * Rational.t) list
 (** Shapley values of all endogenous facts, through the batched
     {!Engine}: one lineage compilation shared by all facts, each fact's
     polynomials derived by conditioning against a shared memo cache — or,
@@ -30,7 +30,8 @@ val svc_all :
     serial instances), read off one d-DNNF compilation with no per-fact
     conditioning at all.  [jobs] (default [1]; [0] = auto) fans the
     per-fact conditionings out across that many domains — values and
-    order are identical for every [jobs] and every backend.
+    order are identical for every [jobs] and every backend.  [tel] is
+    handed to the underlying {!Engine.create}.
     @raise Invalid_argument if [jobs < 0]. *)
 
 val svc_all_naive : Query.t -> Database.t -> (Fact.t * Rational.t) list

@@ -180,6 +180,79 @@ An unknown backend errors cleanly:
   svc eval: unknown backend "typo" (expected auto, conditioning or circuit)
   [2]
 
+--trace records the run as a Chrome trace_event file (loadable in
+about:tracing / Perfetto) next to the usual output:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --trace trace.json
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  trace   : wrote trace.json (7 spans)
+
+svc trace summary validates the file and reports it; span counts are
+deterministic, only the durations need the wall-clock mask:
+
+  $ ../../bin/svc_cli.exe trace summary trace.json \
+  >   | sed -e 's/time  *: .*/time  : [MASKED]/'
+  trace summary : trace.json
+  events        : 10 (7 spans, 1 metadata, 2 counter samples)
+  tracks        : 1
+    track 0 (main)            : 7 spans
+  spans by name:
+    engine.eval                                 1x  time  : [MASKED]
+    engine.fact                                 4x  time  : [MASKED]
+    engine.full                                 1x  time  : [MASKED]
+    engine.lineage                              1x  time  : [MASKED]
+  counters:
+    engine.compilations                      1
+    engine.conditionings                     5
+
+A parallel run lays each worker slot out on its own track — the four
+engine.slice spans across domain lanes carry the same work-split the
+--stats parallel line reports:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --jobs 4 --trace par.json >/dev/null
+  $ ../../bin/svc_cli.exe trace summary par.json \
+  >   | sed -e 's/time  *: .*/time  : [MASKED]/'
+  trace summary : par.json
+  events        : 15 (8 spans, 5 metadata, 2 counter samples)
+  tracks        : 5
+    track 0 (main)            : 4 spans
+    track 1 (domain 0)        : 1 spans
+    track 2 (domain 1)        : 1 spans
+    track 3 (domain 2)        : 1 spans
+    track 4 (domain 3)        : 1 spans
+  spans by name:
+    engine.eval                                 1x  time  : [MASKED]
+    engine.full                                 1x  time  : [MASKED]
+    engine.lineage                              1x  time  : [MASKED]
+    engine.merge                                1x  time  : [MASKED]
+    engine.slice                                4x  time  : [MASKED]
+  counters:
+    engine.compilations                      1
+    engine.conditionings                     5
+
+An unwritable trace path fails after the values, with the eval exit
+code:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --trace /nonexistent-dir/t.json >/dev/null
+  svc eval: cannot write trace: /nonexistent-dir/t.json: No such file or directory
+  [2]
+
+Malformed trace input is rejected with a parse position:
+
+  $ echo '{"traceEvents":' > bad.json
+  $ ../../bin/svc_cli.exe trace summary bad.json
+  svc trace summary: malformed JSON: unexpected end of input at offset 16
+  [1]
+
+  $ echo '{"traceEvents":[{"name":"x","ph":"Z","pid":1,"tid":0,"ts":0}]}' > bad2.json
+  $ ../../bin/svc_cli.exe trace summary bad2.json
+  svc trace summary: invalid trace: event #0: unknown phase "Z"
+  [1]
+
 The FGMC generating polynomial and total:
 
   $ ../../bin/svc_cli.exe count demo.db "R(?x), S(?x,?y), T(?y)"

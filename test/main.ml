@@ -22,6 +22,7 @@ let () =
       ("engine", Test_engine.suite);
       ("circuit", Test_circuit.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
       ("reductions", Test_reductions.suite);
       ("fgmc-to-svc", Test_fgmc_to_svc.suite);
       ("variants", Test_variants.suite);
