@@ -21,20 +21,29 @@ let cap () =
   | None | Some "" -> max_int
   | Some s -> (try int_of_string s with Failure _ -> max_int)
 
+(* The recorded node count of the complete-bipartite n=24 circuit before
+   the compilation planner existed: the plan-driven node gate asserts
+   planned compilation at least halves it. *)
+let bipartite24_baseline = 2174
+
 type entry = {
   family : string;
   n_endo : int;
   conditioning_s : float;
   circuit_s : float;
   circuit_stats : Stats.t;
+  planned_nodes : int;  (* plan-steered compilation (the engine default) *)
+  unplanned_nodes : int;  (* same lineage, naive Shannon order *)
 }
 
 let json_of_entry e =
   Printf.sprintf
     "{\"family\":%S,\"n_endo\":%d,\"conditioning_ms\":%.3f,\
-     \"circuit_ms\":%.3f,\"speedup\":%.2f,\"circuit_stats\":%s}"
+     \"circuit_ms\":%.3f,\"speedup\":%.2f,\"planned_nodes\":%d,\
+     \"unplanned_nodes\":%d,\"circuit_stats\":%s}"
     e.family e.n_endo (e.conditioning_s *. 1000.) (e.circuit_s *. 1000.)
     (e.conditioning_s /. e.circuit_s)
+    e.planned_nodes e.unplanned_nodes
     (Stats.to_json e.circuit_stats)
 
 let write_json ~path entries ~gate ~pass =
@@ -42,9 +51,9 @@ let write_json ~path entries ~gate ~pass =
   output_string oc
     (Printf.sprintf
        "{\"experiment\":\"circuit\",\"cap\":%s,\"speedup_target\":%.1f,\
-        \"gate\":%S,\"pass\":%b,\"entries\":[%s]}\n"
+        \"bipartite24_baseline\":%d,\"gate\":%S,\"pass\":%b,\"entries\":[%s]}\n"
        (let c = cap () in if c = max_int then "null" else string_of_int c)
-       speedup_target gate pass
+       speedup_target bipartite24_baseline gate pass
        (String.concat "," (List.map json_of_entry entries)));
   close_out oc
 
@@ -85,6 +94,13 @@ let run_instance ~family q db =
   let cond_v, _, conditioning_s = timed_backend ~backend:`Conditioning q db in
   let circ_v, circuit_stats, circuit_s = timed_backend ~backend:`Circuit q db in
   let rerun_v, rerun_stats, _ = timed_backend ~backend:`Circuit q db in
+  (* the engine's circuit backend is plan-steered, so its stats already
+     report the planned size; the unplanned column recompiles the same
+     lineage in naive Shannon order for comparison *)
+  let planned_nodes = circuit_stats.Stats.circuit_nodes in
+  let unplanned_nodes =
+    Circuit.node_count (Circuit.compile (Lineage.lineage q db))
+  in
   let agree = values_equal cond_v circ_v in
   let contract =
     circuit_stats.Stats.conditionings = 0
@@ -102,7 +118,8 @@ let run_instance ~family q db =
       family n;
   if not deterministic then
     Printf.printf "!! %s n=%d: circuit rerun NOT deterministic\n" family n;
-  ( { family; n_endo = n; conditioning_s; circuit_s; circuit_stats },
+  ( { family; n_endo = n; conditioning_s; circuit_s; circuit_stats;
+      planned_nodes; unplanned_nodes },
     agree && contract && deterministic )
 
 let circuit () =
@@ -140,16 +157,33 @@ let circuit () =
   let all_ok = List.for_all snd results in
   Report.table
     ~headers:[ "query [instance family]"; "|Dn|"; "conditioning"; "circuit";
-               "speedup"; "nodes/edges"; "smoothing" ]
+               "speedup"; "planned"; "unplanned"; "smoothing" ]
     (List.map
        (fun e ->
           [ e.family; string_of_int e.n_endo; Report.ms e.conditioning_s;
             Report.ms e.circuit_s;
             Printf.sprintf "%.1fx" (e.conditioning_s /. e.circuit_s);
-            Printf.sprintf "%d/%d" e.circuit_stats.Stats.circuit_nodes
-              e.circuit_stats.Stats.circuit_edges;
+            string_of_int e.planned_nodes;
+            string_of_int e.unplanned_nodes;
             string_of_int e.circuit_stats.Stats.circuit_smoothing ])
        entries);
+  (* plan-driven node gate: the bipartite n=24 circuit must land at or
+     below half the recorded pre-planner baseline (skipped when the cap
+     excludes the instance) *)
+  let nodes_ok =
+    match
+      List.find_opt
+        (fun e -> e.n_endo = 24 && e.family = "unsafe q_RST [bipartite]")
+        entries
+    with
+    | None -> true
+    | Some e ->
+      let ok = e.planned_nodes * 2 <= bipartite24_baseline in
+      Printf.printf
+        "Bipartite n=24: %d planned nodes vs %d-node baseline (target: <= half) — %s\n"
+        e.planned_nodes bipartite24_baseline (Report.ok ok);
+      ok
+  in
   let gate = if cap <> max_int then "skipped (capped smoke run)" else "enforced" in
   let largest =
     List.fold_left
@@ -171,7 +205,7 @@ let circuit () =
          else "gate " ^ gate);
       s >= speedup_target
   in
-  let pass = all_ok && (speedup_ok || gate <> "enforced") in
+  let pass = all_ok && nodes_ok && (speedup_ok || gate <> "enforced") in
   write_json ~path:"BENCH_circuit.json" entries ~gate ~pass;
   Printf.printf "Wrote BENCH_circuit.json (%d entries).\n" (List.length entries);
   pass

@@ -64,9 +64,20 @@ let eval_cmd =
     Arg.(value & opt string "auto" & info [ "backend" ] ~docv:"BACKEND"
            ~doc:"Evaluation backend: $(b,conditioning) (one conditioned \
                  count per fact), $(b,circuit) (one d-DNNF compilation, \
-                 every fact read off a single traversal pair), or \
-                 $(b,auto) (default: circuit on large serial instances). \
-                 Values are identical for every choice.")
+                 every fact read off a single traversal pair), $(b,auto) \
+                 (default: the compilation planner predicts the circuit \
+                 size from the lineage's induced width and picks the \
+                 cheaper backend), or $(b,auto-legacy) (the pre-planner \
+                 fact-count rule).  Values are identical for every \
+                 choice.")
+  in
+  let plan_flag =
+    Arg.(value & flag
+         & info [ "plan" ]
+             ~doc:"Print the compilation plan (AND-components, \
+                   elimination orders, induced widths, predicted size) \
+                   before the values, and verify its certificate with \
+                   the independent checker (failure exits 1).")
   in
   let trace_arg =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -76,7 +87,7 @@ let eval_cmd =
                  its own trace lane).  Inspect it with \
                  $(b,svc trace summary).")
   in
-  let run db_path query_str stats cache_capacity jobs backend trace =
+  let run db_path query_str stats cache_capacity jobs backend show_plan trace =
     if jobs < 0 then begin
       Printf.eprintf "svc eval: --jobs must be >= 0 (got %d)\n" jobs;
       exit 2
@@ -84,12 +95,13 @@ let eval_cmd =
     let backend =
       match backend with
       | "auto" -> `Auto
+      | "auto-legacy" -> `AutoLegacy
       | "conditioning" -> `Conditioning
       | "circuit" -> `Circuit
       | other ->
         Printf.eprintf
-          "svc eval: unknown backend %S (expected auto, conditioning or \
-           circuit)\n"
+          "svc eval: unknown backend %S (expected auto, auto-legacy, \
+           conditioning or circuit)\n"
           other;
         exit 2
     in
@@ -97,11 +109,32 @@ let eval_cmd =
     let q = parse_query query_str in
     let tel = Telemetry.create ~enabled:(trace <> None) () in
     let e = Engine.create ~tel ?cache_capacity ~jobs ~backend q db in
-    if Engine.auto_selected e then
-      Printf.printf
-        "note: auto-selected circuit backend (%d endogenous facts >= %d); \
-         --backend overrides\n"
-        (Database.size_endo db) Engine.circuit_threshold;
+    let n_facts = Database.size_endo db in
+    (match (backend, Engine.auto_selected e, Engine.plan e) with
+     | `AutoLegacy, true, _ ->
+       (* the historical note, verbatim *)
+       Printf.printf
+         "note: auto-selected circuit backend (%d endogenous facts >= %d); \
+          --backend overrides\n"
+         n_facts Engine.circuit_threshold
+     | `Auto, true, Some pl ->
+       Printf.printf
+         "note: auto-selected circuit backend (%s); --backend overrides\n"
+         (Plan.recommend_reason pl ~n_facts)
+     | _ -> ());
+    if show_plan then begin
+      let phi = Engine.lineage e in
+      let pl =
+        match Engine.plan e with Some pl -> pl | None -> Plan.analyze phi
+      in
+      print_string (Plan.to_string pl);
+      match Plancheck.check phi pl with
+      | Ok r -> Printf.printf "certificate : %s\n" (Plancheck.report_to_string r)
+      | Error msg ->
+        Printf.eprintf "svc eval: plan certificate verification failed: %s\n"
+          msg;
+        exit 1
+    end;
     let values = Engine.svc_all e in
     let sorted =
       List.sort (fun (_, a) (_, b) -> Rational.compare b a) values
@@ -135,7 +168,73 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc)
     Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg $ jobs_arg
-          $ backend_arg $ trace_arg)
+          $ backend_arg $ plan_flag $ trace_arg)
+
+(* ---------------- plan ---------------- *)
+
+let plan_cmd =
+  let heuristic_arg =
+    Arg.(value & opt string "best" & info [ "heuristic" ] ~docv:"H"
+           ~doc:"Elimination heuristic: $(b,min-degree), $(b,min-fill) or \
+                 $(b,best) (run both, keep the smaller width; default).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let run db_path query_str heuristic format =
+    let heuristic =
+      match Plan.heuristic_of_string heuristic with
+      | Some h -> h
+      | None ->
+        Printf.eprintf
+          "svc plan: unknown heuristic %S (expected min-degree, min-fill or \
+           best)\n"
+          heuristic;
+        exit 2
+    in
+    let db = load_db db_path in
+    let q = parse_query query_str in
+    let phi = Lineage.lineage q db in
+    let pl = Plan.analyze ~heuristic phi in
+    let n_facts = Database.size_endo db in
+    let cert =
+      match Plancheck.check phi pl with
+      | Ok r -> Plancheck.report_to_string r
+      | Error msg ->
+        Printf.eprintf "svc plan: certificate verification FAILED: %s\n" msg;
+        exit 1
+    in
+    let backend =
+      match Plan.recommend pl ~n_facts with
+      | `Circuit -> "circuit"
+      | `Conditioning -> "conditioning"
+    in
+    match format with
+    | `Json ->
+      Printf.printf
+        "{\"query\":%S,\"n_facts\":%d,\"plan\":%s,\"certificate\":%S,\
+         \"recommended_backend\":%S}\n"
+        (Query.to_string q) n_facts (Plan.to_json pl) cert backend
+    | `Text ->
+      Printf.printf "query   : %s\n" (Query.to_string q);
+      Printf.printf "lineage : %d nodes over %d fact variables\n"
+        (Bform.size phi) pl.Plan.n_vars;
+      print_string (Plan.to_string pl);
+      Printf.printf "certificate : %s\n" cert;
+      Printf.printf "recommended backend : %s (%s)\n" backend
+        (Plan.recommend_reason pl ~n_facts)
+  in
+  let doc =
+    "Static compilation plan for a (query, database) pair: AND-components \
+     of the lineage's co-occurrence graph, per-component elimination \
+     orders and induced widths, predicted circuit size, and the backend \
+     the engine's $(b,auto) mode would pick — with the plan certificate \
+     re-verified by the independent checker."
+  in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(const run $ db_arg $ query_arg 1 $ heuristic_arg $ format_arg)
 
 (* ---------------- count ---------------- *)
 
@@ -424,7 +523,8 @@ let main =
      (PODS 2024 reproduction)"
   in
   Cmd.group (Cmd.info "svc" ~version:"1.0.0" ~doc)
-    [ shapley_cmd; eval_cmd; count_cmd; prob_cmd; classify_cmd; reduce_cmd;
-      max_cmd; banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd; trace_cmd ]
+    [ shapley_cmd; eval_cmd; plan_cmd; count_cmd; prob_cmd; classify_cmd;
+      reduce_cmd; max_cmd; banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main)

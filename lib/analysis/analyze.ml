@@ -422,11 +422,32 @@ let pair (q : Query.t) (db : Database.t) : Diagnostic.t list =
       | Classify.FP -> []
       | v ->
         let verdict = Classify.verdict_to_string v in
+        (* the compilation planner refines the raw 2^n bound: a
+           width-bounded plan means the circuit backend stays tractable
+           despite the hardness verdict *)
+        let plan =
+          try Some (Plan.analyze (Lineage.lineage q db))
+          with Invalid_argument _ | Failure _ -> None
+        in
+        let plan_width = Option.map (fun p -> p.Plan.max_width) plan in
+        let refinement =
+          match plan with
+          | None -> ""
+          | Some p when p.Plan.predicted_nodes <= Plan.circuit_node_budget ->
+            Printf.sprintf
+              "; a width-%d compilation plan bounds the circuit backend at \
+               %d nodes" p.Plan.max_width p.Plan.predicted_nodes
+          | Some p ->
+            Printf.sprintf
+              "; the best compilation plan found has induced width %d \
+               (%d predicted nodes)" p.Plan.max_width p.Plan.predicted_nodes
+        in
         [ warning "X203"
-            ~certificate:(Blowup { verdict; n_endo = n })
+            ~certificate:(Blowup { verdict; n_endo = n; plan_width })
             (Printf.sprintf
                "query is %s and the database has %d endogenous facts: exact \
-                computation may take 2^%d query evaluations" verdict n n) ]
+                computation may take 2^%d query evaluations%s" verdict n n
+               refinement) ]
     end
   in
   Diagnostic.sort (missing @ arity @ blowup)

@@ -169,7 +169,7 @@ let check ?query:q ?database:db ?db_source (d : Diagnostic.t) =
           && Fact.rel witness = rel
           && Fact.arity witness <> query_arity
         | None -> false)
-     | Blowup { verdict; n_endo } ->
+     | Blowup { verdict; n_endo; plan_width } ->
        (match (q, db) with
         | Some q, Some db ->
           Database.size_endo db = n_endo
@@ -177,6 +177,13 @@ let check ?query:q ?database:db ?db_source (d : Diagnostic.t) =
           && (let j = Classify.classify q in
               Classify.verdict_to_string j.Classify.verdict = verdict
               && j.Classify.verdict <> Classify.FP)
+          && (match plan_width with
+              | None -> true
+              | Some w ->
+                (* re-derive the plan from scratch: the claimed width
+                   must be exactly what an independent analysis finds *)
+                (try (Plan.analyze (Lineage.lineage q db)).Plan.max_width = w
+                 with Invalid_argument _ | Failure _ -> false))
         | _ -> false))
 
 let check_all ?query ?database ?db_source ds =

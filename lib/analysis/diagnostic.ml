@@ -47,8 +47,10 @@ type certificate =
   | Missing_relation of string * Atom.t option
     (* query relation absent from the database (atom when applicable) *)
   | Query_db_arity of { rel : string; query_arity : int; witness : Fact.t }
-  | Blowup of { verdict : string; n_endo : int }
-    (* not-known-tractable query over this many endogenous facts *)
+  | Blowup of { verdict : string; n_endo : int; plan_width : int option }
+    (* not-known-tractable query over this many endogenous facts; the
+       compilation planner's max induced width when a lineage plan was
+       derivable (checked against an independent re-analysis) *)
 
 type t = {
   code : string;
@@ -142,8 +144,11 @@ let certificate_to_string = function
   | Query_db_arity { rel; query_arity; witness } ->
     Printf.sprintf "%s used with arity %d, database has %s" rel query_arity
       (Fact.to_string witness)
-  | Blowup { verdict; n_endo } ->
-    Printf.sprintf "verdict %s over %d endogenous facts" verdict n_endo
+  | Blowup { verdict; n_endo; plan_width } ->
+    Printf.sprintf "verdict %s over %d endogenous facts%s" verdict n_endo
+      (match plan_width with
+       | Some w -> Printf.sprintf ", plan width %d" w
+       | None -> "")
 
 let to_string d =
   let loc =
@@ -256,11 +261,14 @@ let certificate_to_json = function
         jfield "relation" (jstr rel);
         jfield "query_arity" (string_of_int query_arity);
         jfield "witness" (jstr (Fact.to_string witness)) ]
-  | Blowup { verdict; n_endo } ->
+  | Blowup { verdict; n_endo; plan_width } ->
     jobj
-      [ jfield "kind" (jstr "blowup");
-        jfield "verdict" (jstr verdict);
-        jfield "n_endo" (string_of_int n_endo) ]
+      ([ jfield "kind" (jstr "blowup");
+         jfield "verdict" (jstr verdict);
+         jfield "n_endo" (string_of_int n_endo) ]
+       @ match plan_width with
+       | Some w -> [ jfield "plan_width" (string_of_int w) ]
+       | None -> [])
 
 let to_json d =
   jobj

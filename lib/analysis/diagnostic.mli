@@ -46,7 +46,10 @@ type certificate =
   | Duplicate_fact of Fact.t * int * int  (** fact, first line, second line *)
   | Missing_relation of string * Atom.t option
   | Query_db_arity of { rel : string; query_arity : int; witness : Fact.t }
-  | Blowup of { verdict : string; n_endo : int }
+  | Blowup of { verdict : string; n_endo : int; plan_width : int option }
+      (** not-known-tractable query over [n_endo] endogenous facts;
+          [plan_width] is the compilation planner's max induced width on
+          the instance's lineage when one was derivable *)
 
 type t = {
   code : string;

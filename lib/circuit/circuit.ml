@@ -157,7 +157,24 @@ let smooth_to c target id =
       r
     end
 
-let rec build c cache phi =
+(* Plan-ranked branching: among the formula's live variables, decide the
+   one the plan would eliminate *last* (rank = position in the plan's
+   branch order).  Variables the plan never mentions rank below every
+   planned one; ties fall back to Fact order, so the pick is total and
+   deterministic even against a stale plan. *)
+let planned_variable rank all =
+  let best =
+    Fact.Set.fold
+      (fun f acc ->
+         let r = Option.value ~default:max_int (Hashtbl.find_opt rank f) in
+         match acc with
+         | Some (_, br) when br <= r -> acc
+         | _ -> Some (f, r))
+      all None
+  in
+  Option.map fst best
+
+let rec build c rank cache phi =
   match phi with
   | Bform.True -> true_id
   | Bform.False -> false_id
@@ -174,29 +191,82 @@ let rec build c cache phi =
          match phi with
          | Bform.And parts ->
            (match Compile.conjunct_components parts with
-            | [] | [ _ ] -> shannon c cache phi
+            | [] | [ _ ] -> shannon c rank cache phi
             | comps ->
               (* independent join: a decomposable ∧ over the components *)
-              mk_and c (List.map (fun (sub, _) -> build c cache sub) comps))
-         | _ -> shannon c cache phi
+              mk_and c
+                (List.map (fun (sub, _) -> build c rank cache sub) comps))
+         | _ -> shannon c rank cache phi
        in
        if Fcache.length cache < c.capacity then Fcache.add cache phi id
        else Telemetry.Counter.incr c.drops;
        id)
 
-and shannon c cache phi =
-  match Compile.branch_variable phi with
+and shannon c rank cache phi =
+  let all = Bform.vars phi in
+  let v =
+    match rank with
+    | Some rank -> planned_variable rank all
+    | None -> Compile.branch_variable phi
+  in
+  match v with
   | None -> assert false (* non-constant formula has a variable *)
   | Some v ->
-    let all = Bform.vars phi in
     let target = Fact.Set.remove v all in
-    let hi = smooth_to c target (build c cache (Bform.condition v true phi)) in
-    let lo = smooth_to c target (build c cache (Bform.condition v false phi)) in
+    let hi =
+      smooth_to c target (build c rank cache (Bform.condition v true phi))
+    in
+    let lo =
+      smooth_to c target (build c rank cache (Bform.condition v false phi))
+    in
     (* deterministic by the decided variable; smooth because both
        branches were padded to exactly [target] *)
     mk_or c
       [ mk_and ~vs:all c [ mk_lit c v true; hi ];
         mk_and ~vs:all c [ mk_lit c v false; lo ] ]
+
+(* Split a conjunctive root along the plan's claimed AND-components and
+   compile each separately.  The plan is advisory: if any conjunct
+   straddles two claimed components (or mentions a variable the plan
+   does not know), the split is abandoned and the root compiles through
+   the ordinary [build] path — decomposability is enforced by [mk_and]'s
+   construction either way, never assumed from the certificate. *)
+let build_root c rank plan cache phi =
+  match (plan, phi) with
+  | Some pl, Bform.And parts when Plan.component_count pl > 1 ->
+    let idx = Plan.component_index pl in
+    let buckets = Array.make (Plan.component_count pl) [] in
+    let consts = ref [] in
+    let stray = ref false in
+    List.iter
+      (fun p ->
+         if not !stray then begin
+           let vs = Bform.vars p in
+           if Fact.Set.is_empty vs then consts := p :: !consts
+           else
+             match Hashtbl.find_opt idx (Fact.Set.min_elt vs) with
+             | Some i
+               when Fact.Set.for_all
+                      (fun f -> Hashtbl.find_opt idx f = Some i)
+                      vs ->
+               buckets.(i) <- p :: buckets.(i)
+             | _ -> stray := true
+         end)
+      parts;
+    if !stray then build c rank cache phi
+    else begin
+      let ids = ref [] in
+      Array.iter
+        (fun ps ->
+           match List.rev ps with
+           | [] -> ()
+           | [ p ] -> ids := build c rank cache p :: !ids
+           | ps -> ids := build c rank cache (Bform.And ps) :: !ids)
+        buckets;
+      List.iter (fun p -> ids := build c rank cache p :: !ids) !consts;
+      mk_and c (List.rev !ids)
+    end
+  | _ -> build c rank cache phi
 
 (* Sub-circuits built for components that a later ⊥ collapsed can be
    unreachable from the root; size metrics report the live circuit. *)
@@ -223,8 +293,21 @@ let count_reachable c =
     reach;
   (!nodes, !edges)
 
-let compile ?(tel = Telemetry.disabled ()) ?(cache_capacity = max_int) phi =
+let compile ?(tel = Telemetry.disabled ()) ?plan ?(cache_capacity = max_int)
+    phi =
   if cache_capacity < 0 then invalid_arg "Circuit.compile: negative capacity";
+  (* rank = position in the plan's branch order (first = decided first);
+     duplicate mentions keep their earliest rank *)
+  let rank =
+    Option.map
+      (fun pl ->
+         let tbl : (Fact.t, int) Hashtbl.t = Hashtbl.create 64 in
+         List.iteri
+           (fun i f -> if not (Hashtbl.mem tbl f) then Hashtbl.add tbl f i)
+           (Plan.branch_order pl);
+         tbl)
+      plan
+  in
   (* explicit registration order: record fields evaluate in unspecified
      order, and registry order shows in exporter output *)
   let hits = Telemetry.counter tel "circuit.cache_hits" in
@@ -249,7 +332,7 @@ let compile ?(tel = Telemetry.disabled ()) ?(cache_capacity = max_int) phi =
   Telemetry.span tel "circuit.compile" (fun () ->
       ignore (alloc c NTrue Fact.Set.empty : int); (* id 0 *)
       ignore (alloc c NFalse Fact.Set.empty : int); (* id 1 *)
-      c.root <- build c (Fcache.create 256) phi);
+      c.root <- build_root c rank plan (Fcache.create 256) phi);
   let nodes, edges = count_reachable c in
   c.n_nodes <- nodes;
   c.n_edges <- edges;

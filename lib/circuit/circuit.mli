@@ -51,10 +51,22 @@ type t
 (** A compiled circuit for one formula.  Immutable once compiled; the
     instrumentation counters are frozen at compile time. *)
 
-val compile : ?tel:Telemetry.t -> ?cache_capacity:int -> Bform.t -> t
+val compile :
+  ?tel:Telemetry.t -> ?plan:Plan.t -> ?cache_capacity:int -> Bform.t -> t
 (** Compile a lineage formula.  [cache_capacity] bounds the number of
     formula→node memo entries (default unbounded; the bound affects
     compile time, never the result).
+
+    [plan] steers the build without being trusted for correctness: the
+    root conjunction is split along the plan's AND-components (each
+    compiled separately and conjoined under one decomposable ∧), and
+    Shannon expansion decides variables in the plan's branch order
+    (reverse elimination order) instead of the occurrence-count
+    heuristic, keeping each decision's cut at the plan's induced width.
+    A plan that does not fit the formula — a conjunct straddling two
+    claimed components, or orders missing variables — only disables the
+    steering for the affected sub-build; the circuit invariants come
+    from construction, never from the plan.
 
     [tel] hosts the circuit's instrumentation: the whole build runs in a
     [circuit.compile] span, the memo counters live in the registry as

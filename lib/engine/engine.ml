@@ -28,7 +28,7 @@
 
 let now = Unix.gettimeofday
 
-type backend = [ `Auto | `Conditioning | `Circuit ]
+type backend = [ `Auto | `AutoLegacy | `Conditioning | `Circuit ]
 
 type t = {
   query : Query.t;
@@ -39,6 +39,7 @@ type t = {
   cache_capacity : int;
   backend : [ `Conditioning | `Circuit ]; (* resolved *)
   auto_selected : bool; (* resolution picked `Circuit without being asked *)
+  plan : Plan.t option; (* the compilation plan that steered resolution *)
   phi : Bform.t;
   memo : Compile.Memo.t;
   factorials : Bigint.t array; (* 0! .. n! *)
@@ -57,11 +58,16 @@ type t = {
 
 let default_cache_capacity = 1 lsl 20
 
-(* At this many endogenous facts the n conditionings of a batched run are
-   expected to lose to one circuit compilation + two traversals, so `Auto
-   switches backends.  Only the serial path auto-switches: the circuit
-   evaluator is a whole-universe pass with nothing per-fact to fan out,
-   so at jobs > 1 the user's ask for parallel conditioning wins. *)
+(* The historical `Auto rule, kept verbatim behind `AutoLegacy: at this
+   many endogenous facts the n conditionings of a batched run are
+   expected to lose to one circuit compilation + two traversals.  The
+   default `Auto now asks the compilation planner instead — it predicts
+   the circuit size from the lineage's induced width, so a 24-fact
+   instance with a dense co-occurrence graph no longer gets pushed into
+   a blowing-up compilation.  Either way only the serial path
+   auto-switches: the circuit evaluator is a whole-universe pass with
+   nothing per-fact to fan out, so at jobs > 1 the user's ask for
+   parallel conditioning wins. *)
 let circuit_threshold = 24
 
 let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capacity)
@@ -82,13 +88,28 @@ let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capac
   let compile_s = now () -. t0 in
   let players = Array.of_list (Database.endo_list db) in
   let n = Array.length players in
+  (* The plan is computed exactly when something will read it: to steer
+     an explicit circuit compilation, or to resolve a serial `Auto.  A
+     parallel `Auto never plans, so jobs > 1 runs are span-for-span
+     identical to the pre-planner engine. *)
+  let plan =
+    match backend with
+    | `Circuit -> Some (Plan.analyze ~tel phi)
+    | `Auto when jobs = 1 -> Some (Plan.analyze ~tel phi)
+    | `Auto | `AutoLegacy | `Conditioning -> None
+  in
   let resolved, auto_selected =
     match backend with
     | `Conditioning -> (`Conditioning, false)
     | `Circuit -> (`Circuit, false)
-    | `Auto ->
+    | `AutoLegacy ->
       if jobs = 1 && n >= circuit_threshold then (`Circuit, true)
       else (`Conditioning, false)
+    | `Auto ->
+      (match plan with
+       | Some pl when Plan.recommend pl ~n_facts:n = `Circuit ->
+         (`Circuit, true)
+       | _ -> (`Conditioning, false))
   in
   {
     query;
@@ -99,6 +120,7 @@ let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capac
     cache_capacity;
     backend = resolved;
     auto_selected;
+    plan;
     phi;
     memo = Compile.Memo.create ~capacity:cache_capacity ();
     factorials = Bigint.factorial_table n;
@@ -121,6 +143,7 @@ let lineage t = t.phi
 let jobs t = t.jobs
 let backend t = t.backend
 let auto_selected t = t.auto_selected
+let plan t = t.plan
 
 (* The Claim A.1 arithmetic with the factorials shared across terms:
    Sh(μ) = Σ_j j!(n-j-1)!/n! · (FGMC_j(Dₙ∖μ, Dₓ∪μ) - FGMC_j(Dₙ∖μ, Dₓ)). *)
@@ -156,7 +179,10 @@ let circuit_of t =
   | Some c -> c
   | None ->
     let t0 = now () in
-    let c = Circuit.compile ~tel:t.tel ~cache_capacity:t.cache_capacity t.phi in
+    let c =
+      Circuit.compile ~tel:t.tel ?plan:t.plan ~cache_capacity:t.cache_capacity
+        t.phi
+    in
     t.circuit_compile_s <- t.circuit_compile_s +. (now () -. t0);
     t.circuit <- Some c;
     c

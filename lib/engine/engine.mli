@@ -42,7 +42,7 @@ type t
 (** A compiled engine for one (query, database) pair.  Mutable only in its
     instrumentation and cache; all answers are deterministic. *)
 
-type backend = [ `Auto | `Conditioning | `Circuit ]
+type backend = [ `Auto | `AutoLegacy | `Conditioning | `Circuit ]
 (** The evaluation strategy for batched answers:
 
     - [`Conditioning]: the PR-3 path — one conditioned size-polynomial
@@ -51,15 +51,21 @@ type backend = [ `Auto | `Conditioning | `Circuit ]
       decomposable NNF circuit ({!Circuit}) and read {e every} fact's
       polynomial off it with one bottom-up + one top-down traversal — no
       per-fact conditioning at all;
-    - [`Auto] (the default): [`Circuit] when the instance is serial
-      ([jobs = 1]) and has at least {!circuit_threshold} endogenous
-      facts — where the per-fact conditionings start to dominate —
-      [`Conditioning] otherwise.
+    - [`Auto] (the default): cost-based.  A serial instance is analyzed
+      by the compilation planner ({!Plan.analyze}) and gets [`Circuit]
+      exactly when {!Plan.recommend} predicts the compiled circuit fits
+      the node budget (the prediction comes from the lineage's induced
+      width, so dense co-occurrence graphs fall back to conditioning no
+      matter how many facts they have); [`Conditioning] at [jobs > 1];
+    - [`AutoLegacy]: the pre-planner rule, kept for comparison —
+      [`Circuit] iff serial and at least {!circuit_threshold}
+      endogenous facts, no width analysis.
 
     Both backends return bit-identical values in the same order. *)
 
 val circuit_threshold : int
-(** Endogenous-fact count at which [`Auto] switches to [`Circuit]. *)
+(** Endogenous-fact count at which [`AutoLegacy] switches to
+    [`Circuit]. *)
 
 val create :
   ?tel:Telemetry.t -> ?cache_capacity:int -> ?jobs:int -> ?backend:backend ->
@@ -90,8 +96,15 @@ val backend : t -> [ `Conditioning | `Circuit ]
 (** The resolved backend. *)
 
 val auto_selected : t -> bool
-(** [true] iff [`Auto] resolution picked the circuit backend (lets the
-    CLI announce the switch). *)
+(** [true] iff [`Auto]/[`AutoLegacy] resolution picked the circuit
+    backend (lets the CLI announce the switch). *)
+
+val plan : t -> Plan.t option
+(** The compilation plan computed at {!create} time: present for an
+    explicit [`Circuit] backend and for a serial [`Auto] (where it
+    decided the resolution and will steer any circuit compilation);
+    absent for [`Conditioning], [`AutoLegacy] and parallel [`Auto]
+    engines. *)
 
 val query : t -> Query.t
 val database : t -> Database.t

@@ -1,0 +1,248 @@
+(* Independent plan-certificate verification.
+
+   Deliberately shares no code with [Plan]: the conjunct flattening,
+   the variable union-find, the clique traversal and the elimination
+   replay are all re-implemented here from the documented definitions,
+   so a certificate accepted by this module really establishes the
+   partition/order/width claims about the raw formula. *)
+
+type report = {
+  r_components : int;
+  r_vars : int;
+  r_width : int;
+}
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+module Fmap = Map.Make (Fact)
+
+(* ------------------------------------------------------------------ *)
+(* Recomputed AND-component partition of the variables                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a conjunctive root into its conjuncts (recursively, so a
+   non-canonical nested ∧ still splits the same way); any other root is
+   a single conjunct. *)
+let conjuncts phi =
+  let rec flat acc = function
+    | Bform.And ps -> List.fold_left flat acc ps
+    | p -> p :: acc
+  in
+  match phi with
+  | Bform.True | Bform.False -> []
+  | Bform.And _ -> List.rev (flat [] phi)
+  | p -> [ p ]
+
+(* Union-find over variables: all variables of one conjunct are merged.
+   The resulting classes are exactly the separator-free AND-components
+   of the formula's variable set. *)
+let variable_partition phi : Fact.Set.t list =
+  let parent : Fact.t Fmap.t ref = ref Fmap.empty in
+  let rec find f =
+    match Fmap.find_opt f !parent with
+    | None ->
+      parent := Fmap.add f f !parent;
+      f
+    | Some p -> if Fact.equal p f then f else find p
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (Fact.equal ra rb) then parent := Fmap.add ra rb !parent
+  in
+  List.iter
+    (fun conj ->
+       match Fact.Set.elements (Bform.vars conj) with
+       | [] -> ()
+       | v :: rest ->
+         ignore (find v);
+         List.iter (fun w -> union v w) rest)
+    (conjuncts phi);
+  let classes = ref Fmap.empty in
+  Fact.Set.iter
+    (fun f ->
+       let r = find f in
+       let prev =
+         Option.value ~default:Fact.Set.empty (Fmap.find_opt r !classes)
+       in
+       classes := Fmap.add r (Fact.Set.add f prev) !classes)
+    (Bform.vars phi);
+  Fmap.fold (fun _ c acc -> c :: acc) !classes []
+
+(* ------------------------------------------------------------------ *)
+(* Recomputed co-occurrence graph                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The clique rule, re-traversed: a disjunct couples all its variables,
+   conjunction couples nothing, negation is transparent. *)
+let adjacency phi : Fact.Set.t Fmap.t =
+  let adj = ref Fmap.empty in
+  let touch f =
+    if not (Fmap.mem f !adj) then adj := Fmap.add f Fact.Set.empty !adj
+  in
+  let add_clique vs =
+    Fact.Set.iter
+      (fun a ->
+         touch a;
+         let nbrs = Fact.Set.remove a vs in
+         adj :=
+           Fmap.add a
+             (Fact.Set.union nbrs (Fmap.find a !adj))
+             !adj)
+      vs
+  in
+  let rec go = function
+    | Bform.True | Bform.False -> ()
+    | Bform.Fv f -> touch f
+    | Bform.Not p -> go p
+    | Bform.And ps -> List.iter go ps
+    | Bform.Or ps -> List.iter (fun p -> add_clique (Bform.vars p)) ps
+  in
+  go phi;
+  !adj
+
+(* Replay an elimination order on the (mutable copy of the) graph
+   restricted to the order's own variables, returning the induced
+   width.  Fill edges are added exactly as an eliminator would. *)
+let replay_width adj_global order =
+  let inside = Fact.Set.of_list order in
+  let adj =
+    ref
+      (List.fold_left
+         (fun m f ->
+            let nbrs =
+              Option.value ~default:Fact.Set.empty (Fmap.find_opt f adj_global)
+            in
+            Fmap.add f (Fact.Set.inter nbrs inside) m)
+         Fmap.empty order)
+  in
+  let width = ref 0 in
+  List.iter
+    (fun v ->
+       let nbrs = Fmap.find v !adj in
+       width := max !width (Fact.Set.cardinal nbrs);
+       Fact.Set.iter
+         (fun a ->
+            let cur = Fmap.find a !adj in
+            let cur = Fact.Set.remove v cur in
+            let cur = Fact.Set.union cur (Fact.Set.remove a nbrs) in
+            adj := Fmap.add a cur !adj)
+         nbrs;
+       adj := Fmap.remove v !adj)
+    order;
+  !width
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors the documented prediction formula; the certificate's
+   [predicted_nodes] must be consistent with its own claimed widths. *)
+let predicted_of nv w =
+  let bits = min (w + 1) 24 in
+  let per = (nv + 1) * (1 lsl bits) in
+  if per >= Plan.huge_nodes || per < 0 then Plan.huge_nodes else per
+
+let check phi (plan : Plan.t) =
+  try
+    let all_vars = Bform.vars phi in
+    if plan.Plan.n_vars <> Fact.Set.cardinal all_vars then
+      failf "n_vars claims %d variables but the formula has %d"
+        plan.Plan.n_vars (Fact.Set.cardinal all_vars);
+    (* 1. the claimed partition equals the recomputed one *)
+    let claimed =
+      List.map (fun c -> Fact.Set.of_list c.Plan.cvars) plan.Plan.components
+    in
+    List.iteri
+      (fun i (c : Plan.component) ->
+         if List.length c.Plan.cvars <> Fact.Set.cardinal (List.nth claimed i)
+         then failf "component %d lists a variable twice" (i + 1))
+      plan.Plan.components;
+    let recomputed = variable_partition phi in
+    if List.length claimed <> List.length recomputed then
+      failf "partition claims %d component(s) but the formula splits into %d"
+        (List.length claimed) (List.length recomputed);
+    List.iter
+      (fun cl ->
+         if
+           not
+             (List.exists (fun rc -> Fact.Set.equal cl rc) recomputed)
+         then
+           failf "claimed component {%s} is not a separator-free split of \
+                  the formula"
+             (String.concat ", "
+                (List.map Fact.to_string (Fact.Set.elements cl))))
+      claimed;
+    (* (equal counts + every claimed class is a recomputed class + no
+       duplicates ⇒ the partitions coincide) *)
+    let rec dup_free = function
+      | [] -> true
+      | c :: rest ->
+        (not (List.exists (Fact.Set.equal c) rest)) && dup_free rest
+    in
+    if not (dup_free claimed) then
+      failf "partition lists the same component twice";
+    (* 2. every order and branch order covers its component exactly once *)
+    List.iteri
+      (fun i (c : Plan.component) ->
+         let cvars = Fact.Set.of_list c.Plan.cvars in
+         let permutation_of vs = function
+           | l ->
+             List.length l = Fact.Set.cardinal vs
+             && Fact.Set.equal (Fact.Set.of_list l) vs
+         in
+         if not (permutation_of cvars c.Plan.order) then
+           failf
+             "component %d: order is not a permutation of its variables"
+             (i + 1);
+         if not (permutation_of cvars c.Plan.branch) then
+           failf
+             "component %d: branch order is not a permutation of its \
+              variables"
+             (i + 1))
+      plan.Plan.components;
+    (* 3. widths are sound for the recomputed graph *)
+    let adj = adjacency phi in
+    let max_replayed = ref 0 in
+    List.iteri
+      (fun i (c : Plan.component) ->
+         let w = replay_width adj c.Plan.order in
+         max_replayed := max !max_replayed w;
+         if w > c.Plan.width then
+           failf
+             "component %d: claimed width %d understates the replayed \
+              induced width %d"
+             (i + 1) c.Plan.width w)
+      plan.Plan.components;
+    (* 4. the roll-up fields are consistent with the components *)
+    let max_claimed =
+      List.fold_left
+        (fun acc (c : Plan.component) -> max acc c.Plan.width)
+        0 plan.Plan.components
+    in
+    if plan.Plan.max_width <> max_claimed then
+      failf "max_width %d does not match the component widths (max %d)"
+        plan.Plan.max_width max_claimed;
+    let predicted =
+      List.fold_left
+        (fun acc (c : Plan.component) ->
+           let per = predicted_of (List.length c.Plan.cvars) c.Plan.width in
+           if acc >= Plan.huge_nodes - per then Plan.huge_nodes else acc + per)
+        0 plan.Plan.components
+    in
+    if plan.Plan.predicted_nodes <> predicted then
+      failf "predicted_nodes %d is inconsistent with the claimed widths \
+             (expected %d)"
+        plan.Plan.predicted_nodes predicted;
+    Ok
+      {
+        r_components = List.length plan.Plan.components;
+        r_vars = plan.Plan.n_vars;
+        r_width = !max_replayed;
+      }
+  with Fail msg -> Error msg
+
+let report_to_string r =
+  Printf.sprintf "verified (%d component(s), %d var(s), max replayed width %d)"
+    r.r_components r.r_vars r.r_width

@@ -1,0 +1,34 @@
+(** Independent verification of {!Plan.t} certificates, in the style of
+    {!Certcheck}: everything is re-derived from the raw formula — its
+    own conjunct flattening and union-find for the component partition,
+    its own clique traversal for the co-occurrence graph — and every
+    claimed elimination order is {e replayed} on that graph.  Nothing
+    computed by {!Plan.analyze} is trusted.
+
+    A certificate passes iff:
+
+    - the claimed component partition {e equals} the recomputed
+      separator-free split of the formula's variables (a merged or
+      otherwise coarsened partition is rejected);
+    - every component's [order] and [branch] covers its [cvars] exactly
+      once (the branch order's {e quality} is not checked — any
+      permutation yields a correct circuit, only a bigger one);
+    - every component's claimed [width] is {e sound}: replaying the
+      order on the recomputed graph never eliminates a vertex of degree
+      above it (an understated width is rejected; an overstated one is a
+      valid, weaker bound and accepted);
+    - the top-level [n_vars], [max_width] and [predicted_nodes] fields
+      are consistent with the components. *)
+
+type report = {
+  r_components : int;  (** components verified *)
+  r_vars : int;  (** variables covered *)
+  r_width : int;  (** maximum {e replayed} width (≤ the claimed bound) *)
+}
+
+val check : Bform.t -> Plan.t -> (report, string) result
+(** [check phi plan] verifies [plan] against [phi] from first
+    principles.  [Error msg] pinpoints the first violated clause. *)
+
+val report_to_string : report -> string
+(** ["verified (k component(s), v var(s), max replayed width w)"]. *)

@@ -140,8 +140,8 @@ lines are masked like the others):
     cache         : 0 hits / 0 misses / 0 drops (0 entries, capacity 1048576)
     poly ops      : 0
     backend       : circuit
-    circuit       : 16 nodes / 19 edges (5 smoothing)
-    circuit cache : 0 hits / 3 misses / 0 drops
+    circuit       : 15 nodes / 20 edges (5 smoothing)
+    circuit cache : 1 hits / 4 misses / 0 drops
     compile time  : [MASKED]
     eval time  : [MASKED]
     circuit compile time  : [MASKED]
@@ -161,23 +161,75 @@ patterns below are quote-anchored so they cannot):
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  {"players":4,"compilations":1,"conditionings":0,"cache_hits":0,"cache_misses":0,"cache_size":0,"cache_capacity":1048576,"cache_drops":0,"poly_ops":0,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"circuit","circuit_nodes":16,"circuit_edges":19,"circuit_smoothing":5,"circuit_cache_hits":0,"circuit_cache_misses":3,"circuit_cache_drops":0,"circuit_compile_ms":null,"circuit_traverse_ms":null}
+  {"players":4,"compilations":1,"conditionings":0,"cache_hits":0,"cache_misses":0,"cache_size":0,"cache_capacity":1048576,"cache_drops":0,"poly_ops":0,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"circuit","circuit_nodes":15,"circuit_edges":20,"circuit_smoothing":5,"circuit_cache_hits":1,"circuit_cache_misses":4,"circuit_cache_drops":0,"circuit_compile_ms":null,"circuit_traverse_ms":null}
 
-With the default --backend auto, a serial batch over enough endogenous
-facts flips to the circuit backend and notes the choice ahead of the
-values (the threshold is 24; --backend pins either engine explicitly):
+With the default --backend auto, the engine consults the compilation
+planner: a serial batch gets the circuit backend exactly when the
+plan's predicted node count (from the lineage's induced width) fits
+the budget, and the note ahead of the values quotes that reasoning
+(--backend pins either engine explicitly):
 
   $ for i in $(seq 1 24); do echo "endo R($i)"; done > big.db
   $ ../../bin/svc_cli.exe eval big.db "R(?x)" | head -4
-  note: auto-selected circuit backend (24 endogenous facts >= 24); --backend overrides
+  note: auto-selected circuit backend (~50 predicted nodes (width 0) within the 65536-node budget for 24 endogenous facts); --backend overrides
   R(1)                           1/24  (≈ 0.0417)
   R(10)                          1/24  (≈ 0.0417)
   R(11)                          1/24  (≈ 0.0417)
 
+--backend auto-legacy keeps the historical fact-count rule (circuit
+iff serial and at least 24 endogenous facts), with its historical
+note, for comparison against the cost-based default:
+
+  $ ../../bin/svc_cli.exe eval big.db "R(?x)" --backend auto-legacy | head -2
+  note: auto-selected circuit backend (24 endogenous facts >= 24); --backend overrides
+  R(1)                           1/24  (≈ 0.0417)
+
+svc plan dumps what the auto resolution consulted: the AND-component
+split of the lineage's variable co-occurrence graph, one elimination
+order and induced width per component, the pseudo-tree branch order
+the circuit compiler would follow, and the predicted circuit size —
+then re-verifies the whole certificate with the independent checker
+(Plancheck re-derives the partition and the graph from the raw
+formula and replays every order):
+
+  $ ../../bin/svc_cli.exe plan demo.db "R(?x), S(?x,?y), T(?y)"
+  query   : CQ[R(?x), S(?x,?y), T(?y)]
+  lineage : 8 nodes over 4 fact variables
+  plan : 1 component(s) over 4 variable(s), max width 2, ~40 predicted nodes
+    component 1 : 4 var(s), width 2 [min-fill]
+      elimination order : S(1,3), R(1), S(1,2), T(2)
+      branch order      : T(2), S(1,2), R(1), S(1,3)
+  certificate : verified (1 component(s), 4 var(s), max replayed width 2)
+  recommended backend : conditioning (4 endogenous facts < 8: conditioning wins on tiny instances)
+
+  $ ../../bin/svc_cli.exe plan big.db "R(?x)" --format json
+  {"query":"CQ[R(?x)]","n_facts":24,"plan":{"n_vars":24,"max_width":0,"predicted_nodes":50,"components":[{"vars":["R(1)","R(10)","R(11)","R(12)","R(13)","R(14)","R(15)","R(16)","R(17)","R(18)","R(19)","R(2)","R(20)","R(21)","R(22)","R(23)","R(24)","R(3)","R(4)","R(5)","R(6)","R(7)","R(8)","R(9)"],"order":["R(1)","R(10)","R(11)","R(12)","R(13)","R(14)","R(15)","R(16)","R(17)","R(18)","R(19)","R(2)","R(20)","R(21)","R(22)","R(23)","R(24)","R(3)","R(4)","R(5)","R(6)","R(7)","R(8)","R(9)"],"branch":["R(9)","R(8)","R(7)","R(6)","R(5)","R(4)","R(3)","R(24)","R(23)","R(22)","R(21)","R(20)","R(2)","R(19)","R(18)","R(17)","R(16)","R(15)","R(14)","R(13)","R(12)","R(11)","R(10)","R(1)"],"width":0,"heuristic":"min-fill"}]},"certificate":"verified (1 component(s), 24 var(s), max replayed width 0)","recommended_backend":"circuit"}
+
+A bad heuristic name errors cleanly:
+
+  $ ../../bin/svc_cli.exe plan demo.db "R(?x), S(?x,?y), T(?y)" --heuristic typo
+  svc plan: unknown heuristic "typo" (expected min-degree, min-fill or best)
+  [2]
+
+svc eval --plan prints the same plan (and verifies its certificate)
+ahead of the values:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --plan
+  plan : 1 component(s) over 4 variable(s), max width 2, ~40 predicted nodes
+    component 1 : 4 var(s), width 2 [min-fill]
+      elimination order : S(1,3), R(1), S(1,2), T(2)
+      branch order      : T(2), S(1,2), R(1), S(1,3)
+  certificate : verified (1 component(s), 4 var(s), max replayed width 2)
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+
 An unknown backend errors cleanly:
 
   $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend typo
-  svc eval: unknown backend "typo" (expected auto, conditioning or circuit)
+  svc eval: unknown backend "typo" (expected auto, auto-legacy, conditioning or circuit)
   [2]
 
 --trace records the run as a Chrome trace_event file (loadable in
@@ -189,7 +241,7 @@ about:tracing / Perfetto) next to the usual output:
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  trace   : wrote trace.json (7 spans)
+  trace   : wrote trace.json (9 spans)
 
 svc trace summary validates the file and reports it; span counts are
 deterministic, only the durations need the wall-clock mask:
@@ -197,17 +249,21 @@ deterministic, only the durations need the wall-clock mask:
   $ ../../bin/svc_cli.exe trace summary trace.json \
   >   | sed -e 's/time  *: .*/time  : [MASKED]/'
   trace summary : trace.json
-  events        : 10 (7 spans, 1 metadata, 2 counter samples)
+  events        : 14 (9 spans, 1 metadata, 4 counter samples)
   tracks        : 1
-    track 0 (main)            : 7 spans
+    track 0 (main)            : 9 spans
   spans by name:
     engine.eval                                 1x  time  : [MASKED]
     engine.fact                                 4x  time  : [MASKED]
     engine.full                                 1x  time  : [MASKED]
     engine.lineage                              1x  time  : [MASKED]
+    plan.analyze                                1x  time  : [MASKED]
+    plan.order                                  1x  time  : [MASKED]
   counters:
     engine.compilations                      1
     engine.conditionings                     5
+    plan.components                          1
+    plan.max_width                           2
 
 A parallel run lays each worker slot out on its own track — the four
 engine.slice spans across domain lanes carry the same work-split the

@@ -21,6 +21,7 @@ let () =
       ("svc", Test_svc.suite);
       ("engine", Test_engine.suite);
       ("circuit", Test_circuit.suite);
+      ("plan", Test_plan.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("reductions", Test_reductions.suite);

@@ -120,7 +120,28 @@ let test_checker_rejects_forgeries () =
       "forged"
   in
   Alcotest.(check bool) "connected split rejected" false
-    (Certcheck.check ~query:easy forged_split)
+    (Certcheck.check ~query:easy forged_split);
+  (* a blowup certificate with a forged plan width must be rejected *)
+  let big_db = Workload.rst_gadget ~rows:5 ~extra_exo:false () in
+  let ds = Analyze.pair hard big_db in
+  let x203 = List.find (fun d -> d.Diagnostic.code = "X203") ds in
+  Alcotest.(check bool) "honest plan width verifies" true
+    (Certcheck.check ~query:hard ~database:big_db x203);
+  (match x203.Diagnostic.certificate with
+   | Some (Diagnostic.Blowup b) ->
+     Alcotest.(check bool) "X203 carries a plan width" true
+       (b.plan_width <> None);
+     let forged_width =
+       { x203 with
+         Diagnostic.certificate =
+           Some
+             (Diagnostic.Blowup
+                { b with plan_width = Some (Option.get b.plan_width + 1) });
+       }
+     in
+     Alcotest.(check bool) "forged plan width rejected" false
+       (Certcheck.check ~query:hard ~database:big_db forged_width)
+   | _ -> Alcotest.fail "X203 carries no blowup certificate")
 
 let test_empty_proofs () =
   let check_re s expect =

@@ -106,11 +106,13 @@ let test_null_player () =
     (Engine.svc e (fact "Z" [ "9" ]))
 
 (* the whole point: exactly one compilation per (query, database), and
-   n+1 conditioned counts for a full svc_all *)
+   n+1 conditioned counts for a full svc_all.  Backend pinned: the
+   cost-based `Auto would (correctly) pick the circuit for this
+   instance, and this test is about the conditioning path's contract. *)
 let test_single_compilation () =
   let db = Workload.star_join ~spokes:8 in
   let q = Query_parse.parse "R(?x), S(?x,?y)" in
-  let e = Engine.create q db in
+  let e = Engine.create ~backend:`Conditioning q db in
   ignore (Engine.svc_all e);
   let s = Engine.stats e in
   let n = Database.size_endo db in
@@ -125,10 +127,14 @@ let test_single_compilation () =
   Alcotest.(check int) "still one compilation" 1 s2.Stats.compilations;
   Alcotest.(check int) "no new misses" s.Stats.cache_misses s2.Stats.cache_misses
 
+(* backend pinned to conditioning: the memo-cache bound under test only
+   bites on the conditioning path *)
 let test_bounded_cache_drops () =
   let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
-  let bounded = Engine.create ~cache_capacity:4 qrst db in
-  let unbounded = Engine.create qrst db in
+  let bounded =
+    Engine.create ~backend:`Conditioning ~cache_capacity:4 qrst db
+  in
+  let unbounded = Engine.create ~backend:`Conditioning qrst db in
   Alcotest.(check bool) "same values" true
     (values_equal (Engine.svc_all bounded) (Engine.svc_all unbounded));
   let s = Engine.stats bounded in
