@@ -38,15 +38,18 @@ let json_of_entry e =
     (e.par4_s *. 1000.) (e.serial_s /. e.par2_s) (e.serial_s /. e.par4_s)
     (Stats.to_json e.par4_stats)
 
-let write_json ~path entries ~gate ~pass =
+let write_json ~path entries ~gate ~skipped ~pass =
   let oc = open_out path in
   output_string oc
     (Printf.sprintf
        "{\"experiment\":\"parallel\",\"host_domains\":%d,\"cap\":%s,\
-        \"speedup_target\":%.1f,\"gate\":%S,\"pass\":%b,\"entries\":[%s]}\n"
+        \"speedup_target\":%.1f,\"gate\":%S,\"skipped\":%s,\"pass\":%b,\
+        \"entries\":[%s]}\n"
        (Pool.recommended_domains ())
        (let c = cap () in if c = max_int then "null" else string_of_int c)
-       speedup_target gate pass
+       speedup_target gate
+       (match skipped with None -> "null" | Some r -> Printf.sprintf "%S" r)
+       pass
        (String.concat "," (List.map json_of_entry entries)));
   close_out oc
 
@@ -119,16 +122,21 @@ let parallel () =
             Printf.sprintf "%d/%d" (Stats.par_hits e.par4_stats)
               (Stats.par_misses e.par4_stats) ])
        entries);
-  (* the host check outranks the cap check: a sub-4-domain host can never
-     enforce the gate, and the skip reason should say how many domains
-     were actually measured (BENCH_parallel.json once recorded a "pass"
-     from a 1-domain host where the numbers meant nothing) *)
+  (* Pool.bench_gate owns the skip policy (host check outranks the cap
+     check); the JSON carries both the human-readable gate string and
+     the machine-readable "skipped" reason so downstream tooling never
+     has to parse prose to learn the gate was vacuous *)
   let host = Pool.recommended_domains () in
+  let skipped =
+    Pool.bench_gate ~required:4 ~host
+      ~cap:(if cap = max_int then None else Some cap)
+  in
   let gate =
-    if host < 4 then
+    match skipped with
+    | Some _ when host < 4 ->
       Printf.sprintf "skipped (host has %d domain(s), need 4)" host
-    else if cap <> max_int then "skipped (capped smoke run)"
-    else "enforced"
+    | Some _ -> "skipped (capped smoke run)"
+    | None -> "enforced"
   in
   let largest =
     List.fold_left
@@ -150,7 +158,7 @@ let parallel () =
          else "gate " ^ gate);
       s >= speedup_target
   in
-  let pass = all_ok && (speedup_ok || gate <> "enforced") in
-  write_json ~path:"BENCH_parallel.json" entries ~gate ~pass;
+  let pass = all_ok && (speedup_ok || skipped <> None) in
+  write_json ~path:"BENCH_parallel.json" entries ~gate ~skipped ~pass;
   Printf.printf "Wrote BENCH_parallel.json (%d entries).\n" (List.length entries);
   pass

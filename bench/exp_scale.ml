@@ -50,6 +50,117 @@ let scale () =
      grows combinatorially even for the compiled lineage — the FP/#P divide.\n";
   true
 
+(* SAMPLE: the anytime sampling backend where exact SVC is out of
+   reach — 10^3..10^4 endogenous facts, on the unsafe q_RST complete
+   bipartite family and the safe star family.  Emits BENCH_sample.json
+   (uploaded by the CI bench-smoke job).  The gate: on every instance
+   the Monte-Carlo estimator reports a 95% CI half-width <= 1/20 within
+   the draw budget.  A small-instance hybrid run must additionally equal
+   the exact engine rationally — that check always runs.
+   BENCH_SAMPLE_CAP bounds |Dn| on smoke runs, which skips the
+   convergence gate (machine-readably, like BENCH_parallel.json). *)
+let sample_cap () =
+  match Sys.getenv_opt "BENCH_SAMPLE_CAP" with
+  | None | Some "" -> max_int
+  | Some s -> (try int_of_string s with Failure _ -> max_int)
+
+let sample () =
+  Report.heading "SAMPLE"
+    "Anytime sampling backend at 10^3..10^4 facts (emits BENCH_sample.json)";
+  let cap = sample_cap () in
+  let epsilon = Rational.of_ints 1 20 in
+  let cfg =
+    Sample.config ~strategy:Sample.Monte_carlo ~seed:1 ~epsilon
+      ~max_draws:4096 ()
+  in
+  let instances =
+    List.filter_map
+      (fun rows ->
+         let db = Workload.rst_gadget ~complete:true ~rows ~extra_exo:false () in
+         if Database.size_endo db <= cap then
+           Some ("unsafe q_RST [bipartite]", qrst, db)
+         else None)
+      [ 32; 50; 70; 100 ]
+    @ List.filter_map
+        (fun spokes ->
+           let db = Workload.star_join ~spokes in
+           if Database.size_endo db <= cap then
+             Some ("safe R(x),S(x,y) [star]", q_safe, db)
+           else None)
+        [ 1000; 10000 ]
+  in
+  let rows = ref [] and entries = ref [] and all_converged = ref true in
+  List.iter
+    (fun (family, q, db) ->
+       let n = Database.size_endo db in
+       let e = Engine.create ~backend:(`Sample cfg) q db in
+       let _, eval_s = Report.time_it (fun () -> Engine.svc_all e) in
+       let st = Engine.stats e in
+       let hw =
+         match Engine.sample_report e with
+         | Some r -> Rational.to_float r.Sample.max_half_width
+         | None -> Float.nan
+       in
+       let converged = st.Stats.sample_converged in
+       if not converged then all_converged := false;
+       rows :=
+         [ family; string_of_int n; string_of_int st.Stats.sample_draws;
+           Printf.sprintf "%.4f" hw; Report.ms eval_s;
+           (if converged then "yes" else "NO") ]
+         :: !rows;
+       entries :=
+         Printf.sprintf
+           "{\"family\":%S,\"n_endo\":%d,\"eval_ms\":%.1f,\
+            \"max_hw_float\":%.5f,\"stats\":%s}"
+           family n (eval_s *. 1000.) hw (Stats.to_json st)
+         :: !entries)
+    instances;
+  Report.table
+    ~headers:[ "query [instance family]"; "|Dn|"; "draws"; "95% CI hw";
+               "eval"; "converged" ]
+    (List.rev !rows);
+  (* small-instance sanity: the hybrid estimator with every stratum under
+     the exact cap must equal the exact engine rationally (|Dn|=15 needs
+     exact_cap >= C(14,7) = 3432 to keep every stratum exact) *)
+  let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
+  let all_exact = Sample.config ~exact_cap:4000 () in
+  let hybrid =
+    Engine.svc_all (Engine.create ~backend:(`Sample all_exact) qrst db)
+  and exact = Engine.svc_all (Engine.create ~backend:`Conditioning qrst db) in
+  let sanity =
+    List.length hybrid = List.length exact
+    && List.for_all2
+         (fun (f1, v1) (f2, v2) -> Fact.equal f1 f2 && Rational.equal v1 v2)
+         hybrid exact
+  in
+  Printf.printf "Hybrid all-strata-exact = exact engine (|Dn|=%d): %s\n"
+    (Database.size_endo db) (Report.ok sanity);
+  let skipped =
+    Pool.bench_gate ~required:1 ~host:(Pool.recommended_domains ())
+      ~cap:(if cap = max_int then None else Some cap)
+  in
+  let gate =
+    match skipped with
+    | Some _ -> "skipped (capped smoke run)"
+    | None -> "enforced"
+  in
+  let pass = sanity && (!all_converged || skipped <> None) in
+  let oc = open_out "BENCH_sample.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"experiment\":\"sample\",\"cap\":%s,\"strategy\":\"mc\",\"seed\":1,\
+        \"epsilon\":\"1/20\",\"confidence\":\"19/20\",\"max_draws\":4096,\
+        \"hybrid_exact_sanity\":%b,\"gate\":%S,\"skipped\":%s,\"pass\":%b,\
+        \"entries\":[%s]}\n"
+       (if cap = max_int then "null" else string_of_int cap)
+       sanity gate
+       (match skipped with None -> "null" | Some r -> Printf.sprintf "%S" r)
+       pass
+       (String.concat "," (List.rev !entries)));
+  close_out oc;
+  Printf.printf "Wrote BENCH_sample.json (%d entries).\n" (List.length !entries);
+  pass
+
 let ablate_compile () =
   Report.heading "ABL-COMPILE"
     "Ablation: decomposed+memoized Shannon expansion vs naive expansion";

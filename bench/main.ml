@@ -30,6 +30,7 @@ let experiments ~jobs : (string * (unit -> bool)) list =
     ("appd", Exp_variants.appendix_d ~rounds:8);
     ("exe1", Exp_discussion.exe1);
     ("scale", Exp_scale.scale);
+    ("sample", Exp_scale.sample);
     ("engine", Exp_engine.engine ~jobs);
     ("parallel", Exp_parallel.parallel);
     ("circuit", Exp_circuit.circuit);

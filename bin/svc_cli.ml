@@ -67,9 +67,38 @@ let eval_cmd =
                  every fact read off a single traversal pair), $(b,auto) \
                  (default: the compilation planner predicts the circuit \
                  size from the lineage's induced width and picks the \
-                 cheaper backend), or $(b,auto-legacy) (the pre-planner \
-                 fact-count rule).  Values are identical for every \
-                 choice.")
+                 cheaper backend), $(b,auto-legacy) (the pre-planner \
+                 fact-count rule), or $(b,sample) (seeded anytime \
+                 estimation with rational confidence intervals — the \
+                 only approximate backend, never auto-selected; see \
+                 $(b,--seed), $(b,--epsilon), $(b,--max-draws), \
+                 $(b,--strategy)).  The exact backends produce identical \
+                 values for every choice.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+           ~doc:"Sampling backend: master PRNG seed (default 0).  Same \
+                 seed, bit-identical estimates — at any $(b,--jobs).")
+  in
+  let epsilon_arg =
+    Arg.(value & opt string "1/20" & info [ "epsilon" ] ~docv:"E"
+           ~doc:"Sampling backend: target confidence-interval half-width \
+                 as an exact rational ($(b,1/20), $(b,0.05), ...); \
+                 sampling stops early once every fact's interval is this \
+                 tight (default 1/20).")
+  in
+  let max_draws_arg =
+    Arg.(value & opt int 4096 & info [ "max-draws" ] ~docv:"K"
+           ~doc:"Sampling backend: draw budget (default 4096) — shared \
+                 permutations under $(b,--strategy mc), per-fact draws \
+                 under the stratified strategies.")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "hybrid" & info [ "strategy" ] ~docv:"S"
+           ~doc:"Sampling backend: $(b,mc) (permutation sampling), \
+                 $(b,stratified) (per-coalition-size strata), or \
+                 $(b,hybrid) (default: cheap strata enumerated exactly, \
+                 expensive ones sampled).")
   in
   let plan_flag =
     Arg.(value & flag
@@ -87,7 +116,8 @@ let eval_cmd =
                  its own trace lane).  Inspect it with \
                  $(b,svc trace summary).")
   in
-  let run db_path query_str stats cache_capacity jobs backend show_plan trace =
+  let run db_path query_str stats cache_capacity jobs backend seed epsilon
+      max_draws strategy show_plan trace =
     if jobs < 0 then begin
       Printf.eprintf "svc eval: --jobs must be >= 0 (got %d)\n" jobs;
       exit 2
@@ -98,10 +128,40 @@ let eval_cmd =
       | "auto-legacy" -> `AutoLegacy
       | "conditioning" -> `Conditioning
       | "circuit" -> `Circuit
+      | "sample" ->
+        let strategy =
+          match Sample.strategy_of_string strategy with
+          | Some s -> s
+          | None ->
+            Printf.eprintf
+              "svc eval: unknown strategy %S (expected mc, stratified or \
+               hybrid)\n"
+              strategy;
+            exit 2
+        in
+        let epsilon =
+          match Rational.of_string epsilon with
+          | e when Rational.sign e > 0 -> e
+          | _ ->
+            Printf.eprintf "svc eval: --epsilon must be > 0 (got %s)\n"
+              epsilon;
+            exit 2
+          | exception _ ->
+            Printf.eprintf
+              "svc eval: --epsilon must be a rational like 1/20 (got %s)\n"
+              epsilon;
+            exit 2
+        in
+        if max_draws < 1 then begin
+          Printf.eprintf "svc eval: --max-draws must be >= 1 (got %d)\n"
+            max_draws;
+          exit 2
+        end;
+        `Sample (Sample.config ~strategy ~seed ~epsilon ~max_draws ())
       | other ->
         Printf.eprintf
           "svc eval: unknown backend %S (expected auto, auto-legacy, \
-           conditioning or circuit)\n"
+           conditioning, circuit or sample)\n"
           other;
         exit 2
     in
@@ -168,7 +228,8 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc)
     Term.(const run $ db_arg $ query_arg 1 $ stats_arg $ cache_arg $ jobs_arg
-          $ backend_arg $ plan_flag $ trace_arg)
+          $ backend_arg $ seed_arg $ epsilon_arg $ max_draws_arg
+          $ strategy_arg $ plan_flag $ trace_arg)
 
 (* ---------------- plan ---------------- *)
 

@@ -412,6 +412,22 @@ let binomial n k =
     !acc
   end
 
+(* Floor integer square root by Newton's method.  Starting from any
+   x₀ >= √n, the iteration x ↦ (x + n/x)/2 over the integers decreases
+   strictly until it reaches ⌊√n⌋ and the first non-decreasing step stops
+   it.  n < 2^(24·limbs) gives the over-approximation x₀ = 2^(12·limbs). *)
+let isqrt n =
+  if sign n < 0 then invalid_arg "Bigint.isqrt: negative argument"
+  else if is_zero n then zero
+  else begin
+    let x0 = pow two (12 * Array.length n.mag) in
+    let rec go x =
+      let y = div (add x (div n x)) two in
+      if lt y x then go y else x
+    in
+    go x0
+  end
+
 let chunk_pow = 7
 let chunk_base = 10_000_000 (* 10^7 < 2^24 is required by mag_divmod_small *)
 

@@ -81,6 +81,11 @@ val pow : t -> int -> t
 val gcd : t -> t -> t
 (** Greatest common divisor; always non-negative, [gcd 0 0 = 0]. *)
 
+val isqrt : t -> t
+(** [isqrt n] is [⌊√n⌋] (Newton's method) — the exact integer anchor under
+    {!Rational.sqrt_upper}, i.e. under every confidence half-width the
+    sampling engine reports.  @raise Invalid_argument on negative input. *)
+
 (** {1 Combinatorics} *)
 
 val factorial : int -> t

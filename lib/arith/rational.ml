@@ -87,6 +87,44 @@ let of_string s =
        let a = of_bigint ip in
        if negative then sub a fp else add a fp)
 
+(* ------------------------------------------------------------------ *)
+(* Certified upper bounds for confidence intervals                     *)
+(*                                                                     *)
+(* The sampling engine's Hoeffding / empirical-Bernstein half-widths   *)
+(* need √· and ln· of rationals.  Both are irrational in general, so   *)
+(* we return rational OVER-approximations: a half-width computed from  *)
+(* them is still a valid (slightly conservative) confidence bound,     *)
+(* keeping the whole estimator float-free and deterministic.           *)
+(* ------------------------------------------------------------------ *)
+
+let sqrt_upper ?(scale = 12) x =
+  if Bigint.sign x.num < 0 then
+    invalid_arg "Rational.sqrt_upper: negative argument";
+  if is_zero x then zero
+  else begin
+    (* √(a/b) = √(a·b)/b <= (⌊√(a·b·P²)⌋ + 1)/(b·P) with P = 10^scale,
+       an upper bound within 1/(b·P) of the true root *)
+    let p = Bigint.pow (Bigint.of_int 10) scale in
+    let s =
+      Bigint.isqrt (Bigint.mul (Bigint.mul x.num x.den) (Bigint.mul p p))
+    in
+    make (Bigint.succ s) (Bigint.mul x.den p)
+  end
+
+(* 0.693148 > ln 2 = 0.693147180…; the slack per doubling is < 10⁻⁶. *)
+let ln2_upper = make (Bigint.of_int 693148) (Bigint.of_int 1_000_000)
+
+let ln_upper x =
+  if lt x one then invalid_arg "Rational.ln_upper: argument must be >= 1";
+  (* split x = 2^k · r with 1 <= r < 2, then
+     ln x = k·ln 2 + ln r <= k·ln2_upper + (r - 1)   [ln(1+t) <= t] *)
+  let rec split k p =
+    let p2 = add p p in
+    if leq p2 x then split (k + 1) p2 else (k, p)
+  in
+  let k, p = split 0 one in
+  add (mul_bigint ln2_upper (Bigint.of_int k)) (sub (div x p) one)
+
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 
 let sum = List.fold_left add zero

@@ -57,6 +57,21 @@ val to_string : t -> string
 val of_string : string -> t
 (** Accepts ["a"], ["a/b"] and simple decimals like ["0.25"]. *)
 
+val sqrt_upper : ?scale:int -> t -> t
+(** [sqrt_upper x] is a rational upper bound on [√x], within
+    [1/(den x · 10^scale)] of the true root (default [scale = 12]).
+    Exact on [zero].  Confidence half-widths computed from it stay valid
+    (slightly conservative) bounds, which is what keeps the sampling
+    engine float-free.  @raise Invalid_argument on negative input. *)
+
+val ln_upper : t -> t
+(** [ln_upper x] for [x >= 1] is a rational upper bound on [ln x]:
+    splitting [x = 2^k·r] with [1 <= r < 2] gives
+    [k·0.693148 + (r - 1)].  The additive slack is at most [~0.307]
+    (the [ln(1+t) <= t] gap at [r → 2]) — conservative but sound for
+    the [ln(2/δ)] terms of Hoeffding/Bernstein bounds.
+    @raise Invalid_argument on [x < 1]. *)
+
 val pp : Format.formatter -> t -> unit
 
 val sum : t list -> t

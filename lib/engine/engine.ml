@@ -28,7 +28,8 @@
 
 let now = Unix.gettimeofday
 
-type backend = [ `Auto | `AutoLegacy | `Conditioning | `Circuit ]
+type backend =
+  [ `Auto | `AutoLegacy | `Conditioning | `Circuit | `Sample of Sample.config ]
 
 type t = {
   query : Query.t;
@@ -37,7 +38,8 @@ type t = {
   n : int;
   jobs : int;
   cache_capacity : int;
-  backend : [ `Conditioning | `Circuit ]; (* resolved *)
+  backend : [ `Conditioning | `Circuit | `Sample of Sample.config ];
+  (* resolved *)
   auto_selected : bool; (* resolution picked `Circuit without being asked *)
   plan : Plan.t option; (* the compilation plan that steered resolution *)
   phi : Bform.t;
@@ -54,6 +56,8 @@ type t = {
   mutable circuit_eval : (Poly.Z.t * (Fact.t, Poly.Z.t) Hashtbl.t) option;
   mutable circuit_compile_s : float;
   mutable circuit_traverse_s : float;
+  mutable sample_shapley : Sample.report option; (* first sampled svc_all *)
+  mutable sample_banzhaf : Sample.report option;
 }
 
 let default_cache_capacity = 1 lsl 20
@@ -96,12 +100,14 @@ let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capac
     match backend with
     | `Circuit -> Some (Plan.analyze ~tel phi)
     | `Auto when jobs = 1 -> Some (Plan.analyze ~tel phi)
-    | `Auto | `AutoLegacy | `Conditioning -> None
+    | `Auto | `AutoLegacy | `Conditioning | `Sample _ -> None
   in
   let resolved, auto_selected =
     match backend with
     | `Conditioning -> (`Conditioning, false)
     | `Circuit -> (`Circuit, false)
+    (* never auto-selected: an approximate answer must be asked for *)
+    | `Sample cfg -> Sample.validate cfg; (`Sample cfg, false)
     | `AutoLegacy ->
       if jobs = 1 && n >= circuit_threshold then (`Circuit, true)
       else (`Conditioning, false)
@@ -135,6 +141,8 @@ let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capac
     circuit_eval = None;
     circuit_compile_s = 0.;
     circuit_traverse_s = 0.;
+    sample_shapley = None;
+    sample_banzhaf = None;
   }
 
 let query t = t.query
@@ -210,7 +218,10 @@ let full_polynomial t =
   | None ->
     (match t.backend with
      | `Circuit -> fst (circuit_evaluation t)
-     | `Conditioning ->
+     (* the sample backend only approximates Shapley/Banzhaf values; an
+        explicit ask for the FGMC polynomial stays exact via the
+        conditioning path *)
+     | `Conditioning | `Sample _ ->
        Telemetry.Counter.incr t.conditionings;
        let p =
          Telemetry.span t.tel "engine.full" (fun () ->
@@ -228,7 +239,7 @@ let full_polynomial t =
    instead — the same identity then applies verbatim. *)
 let polynomials t mu =
   match t.backend with
-  | `Conditioning ->
+  | `Conditioning | `Sample _ ->
     let full = full_polynomial t in
     let universe =
       List.filter (fun f -> not (Fact.equal f mu)) (Array.to_list t.players)
@@ -242,6 +253,48 @@ let polynomials t mu =
     let without_mu = Poly.Z.sub full (Poly.Z.shift 1 with_mu_exo) in
     (with_mu_exo, without_mu)
 
+(* The sample backend: one anytime estimation pass answers every fact at
+   once (Shapley and Banzhaf reports cached independently).  The run is a
+   deterministic function of (lineage, universe, config) — in particular
+   [jobs] plays no part, so values are bit-identical at every jobs count
+   by construction rather than by a parallel-merge argument. *)
+let sample_run t cfg ~which =
+  let cached =
+    match which with
+    | `Shapley -> t.sample_shapley
+    | `Banzhaf -> t.sample_banzhaf
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+    let t0 = now () in
+    let universe = Array.to_list t.players in
+    let r =
+      match which with
+      | `Shapley -> Sample.shapley ~tel:t.tel cfg ~universe t.phi
+      | `Banzhaf -> Sample.banzhaf ~tel:t.tel cfg ~universe t.phi
+    in
+    t.eval_s <- t.eval_s +. (now () -. t0);
+    (match which with
+     | `Shapley -> t.sample_shapley <- Some r
+     | `Banzhaf -> t.sample_banzhaf <- Some r);
+    r
+
+(* estimates are stored in players order, so mu's slot is its index *)
+let sample_estimate t cfg ~which mu =
+  let r = sample_run t cfg ~which in
+  let rec find i =
+    if i >= t.n then invalid_arg "Engine: fact is not endogenous"
+    else if Fact.equal t.players.(i) mu then r.Sample.estimates.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let sample_values t cfg ~which =
+  let r = sample_run t cfg ~which in
+  Array.to_list
+    (Array.map (fun e -> (e.Sample.fact, e.Sample.value)) r.Sample.estimates)
+
 (* Per-fact span; the attribute list is only built when someone will read
    it, so the disabled-tracer path stays allocation-free. *)
 let fact_span t mu f =
@@ -252,15 +305,18 @@ let fact_span t mu f =
 let svc t mu =
   if not (Database.mem_endo mu t.db) then
     invalid_arg "Engine.svc: fact is not endogenous";
-  let t0 = now () in
-  let v =
-    fact_span t mu (fun () ->
-        let with_mu_exo, without_mu = polynomials t mu in
-        shapley_of_polynomials ~factorials:t.factorials ~with_mu_exo
-          ~without_mu ~n:t.n)
-  in
-  t.eval_s <- t.eval_s +. (now () -. t0);
-  v
+  match t.backend with
+  | `Sample cfg -> (sample_estimate t cfg ~which:`Shapley mu).Sample.value
+  | `Conditioning | `Circuit ->
+    let t0 = now () in
+    let v =
+      fact_span t mu (fun () ->
+          let with_mu_exo, without_mu = polynomials t mu in
+          shapley_of_polynomials ~factorials:t.factorials ~with_mu_exo
+            ~without_mu ~n:t.n)
+    in
+    t.eval_s <- t.eval_s +. (now () -. t0);
+    v
 
 (* The parallel batched path: fan the per-fact conditioning out across
    [t.jobs] domains.  Slot i owns the static slice [i·n/jobs, (i+1)·n/jobs)
@@ -349,33 +405,68 @@ let banzhaf_value_of t ~with_mu_exo ~without_mu =
 
 let svc_all t =
   Telemetry.span t.tel "engine.eval" @@ fun () ->
-  if t.backend = `Conditioning && t.jobs > 1 then
+  match t.backend with
+  | `Sample cfg -> sample_values t cfg ~which:`Shapley
+  | `Conditioning when t.jobs > 1 ->
     batched_parallel t ~value_of:(shapley_value_of t)
-  else Array.to_list (Array.map (fun f -> (f, svc t f)) t.players)
+  | `Conditioning | `Circuit ->
+    Array.to_list (Array.map (fun f -> (f, svc t f)) t.players)
 
 let banzhaf t mu =
   if not (Database.mem_endo mu t.db) then
     invalid_arg "Engine.banzhaf: fact is not endogenous";
-  let t0 = now () in
-  let v =
-    fact_span t mu (fun () ->
-        let with_mu_exo, without_mu = polynomials t mu in
-        banzhaf_value_of t ~with_mu_exo ~without_mu)
-  in
-  t.eval_s <- t.eval_s +. (now () -. t0);
-  v
+  match t.backend with
+  | `Sample cfg -> (sample_estimate t cfg ~which:`Banzhaf mu).Sample.value
+  | `Conditioning | `Circuit ->
+    let t0 = now () in
+    let v =
+      fact_span t mu (fun () ->
+          let with_mu_exo, without_mu = polynomials t mu in
+          banzhaf_value_of t ~with_mu_exo ~without_mu)
+    in
+    t.eval_s <- t.eval_s +. (now () -. t0);
+    v
 
 let banzhaf_all t =
   Telemetry.span t.tel "engine.eval" @@ fun () ->
-  if t.backend = `Conditioning && t.jobs > 1 then
+  match t.backend with
+  | `Sample cfg -> sample_values t cfg ~which:`Banzhaf
+  | `Conditioning when t.jobs > 1 ->
     batched_parallel t ~value_of:(banzhaf_value_of t)
-  else Array.to_list (Array.map (fun f -> (f, banzhaf t f)) t.players)
+  | `Conditioning | `Circuit ->
+    Array.to_list (Array.map (fun f -> (f, banzhaf t f)) t.players)
 
 let fgmc_polynomial t = full_polynomial t
 
 let telemetry t = t.tel
 
+let sample_report t =
+  match t.sample_shapley with Some r -> Some r | None -> t.sample_banzhaf
+
 let stats t =
+  let sample_strategy, sample_seed, sample_epsilon, sample_confidence =
+    match t.backend with
+    | `Sample cfg ->
+      (Sample.strategy_to_string cfg.Sample.strategy, cfg.Sample.seed,
+       Rational.to_string cfg.Sample.epsilon,
+       Rational.to_string cfg.Sample.confidence)
+    | `Conditioning | `Circuit -> ("", 0, "0", "0")
+  in
+  let sample_draws, sample_exact_strata, sample_sampled_strata, sample_max_hw,
+      sample_converged =
+    match sample_report t with
+    | Some r ->
+      ( r.Sample.total_draws,
+        Array.fold_left
+          (fun a e -> a + e.Sample.exact_strata)
+          0 r.Sample.estimates,
+        Array.fold_left
+          (fun a e -> a + e.Sample.sampled_strata)
+          0 r.Sample.estimates,
+        Rational.to_string r.Sample.max_half_width,
+        r.Sample.all_converged )
+    | None -> (0, 0, 0, "0", false)
+  in
   {
     Stats.players = t.n;
     compilations = Telemetry.Counter.value t.compilations;
@@ -392,7 +483,8 @@ let stats t =
     eval_s = t.eval_s;
     backend = (match t.backend with
         | `Conditioning -> "conditioning"
-        | `Circuit -> "circuit");
+        | `Circuit -> "circuit"
+        | `Sample _ -> "sample");
     circuit_nodes = (match t.circuit with
         | Some c -> Circuit.node_count c
         | None -> 0);
@@ -413,5 +505,14 @@ let stats t =
         | None -> 0);
     circuit_compile_s = t.circuit_compile_s;
     circuit_traverse_s = t.circuit_traverse_s;
+    sample_strategy;
+    sample_seed;
+    sample_draws;
+    sample_exact_strata;
+    sample_sampled_strata;
+    sample_max_hw;
+    sample_epsilon;
+    sample_confidence;
+    sample_converged;
     span_s = Telemetry.aggregate t.tel;
   }

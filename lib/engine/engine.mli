@@ -42,7 +42,8 @@ type t
 (** A compiled engine for one (query, database) pair.  Mutable only in its
     instrumentation and cache; all answers are deterministic. *)
 
-type backend = [ `Auto | `AutoLegacy | `Conditioning | `Circuit ]
+type backend =
+  [ `Auto | `AutoLegacy | `Conditioning | `Circuit | `Sample of Sample.config ]
 (** The evaluation strategy for batched answers:
 
     - [`Conditioning]: the PR-3 path — one conditioned size-polynomial
@@ -59,9 +60,18 @@ type backend = [ `Auto | `AutoLegacy | `Conditioning | `Circuit ]
       matter how many facts they have); [`Conditioning] at [jobs > 1];
     - [`AutoLegacy]: the pre-planner rule, kept for comparison —
       [`Circuit] iff serial and at least {!circuit_threshold}
-      endogenous facts, no width analysis.
+      endogenous facts, no width analysis;
+    - [`Sample cfg]: the anytime sampling estimator ({!Sample}) — the
+      only {e approximate} backend, and therefore never auto-selected:
+      every answer carries a seeded-deterministic estimate whose
+      confidence interval is reported through {!stats}
+      ([sample_*] fields) and {!Sample.report}.  [svc]/[svc_all] and
+      [banzhaf]/[banzhaf_all] run (and cache) one estimation pass each;
+      {!fgmc_polynomial} stays exact via the conditioning path.  [jobs]
+      does not affect the values (the estimator is a pure function of
+      the seed).
 
-    Both backends return bit-identical values in the same order. *)
+    The exact backends return bit-identical values in the same order. *)
 
 val circuit_threshold : int
 (** Endogenous-fact count at which [`AutoLegacy] switches to
@@ -92,8 +102,15 @@ val create :
     {!Circuit}'s [circuit.*] spans, counters and gauges.
     @raise Invalid_argument if [jobs < 0]. *)
 
-val backend : t -> [ `Conditioning | `Circuit ]
+val backend : t -> [ `Conditioning | `Circuit | `Sample of Sample.config ]
 (** The resolved backend. *)
+
+val sample_report : t -> Sample.report option
+(** The cached report of the last sampled batched run ([None] unless the
+    engine is a [`Sample] backend and an entry point has run; prefers
+    the Shapley report when both Shapley and Banzhaf passes ran).
+    Carries per-fact confidence intervals, draw counts and convergence
+    flags — the data behind the [sample_*] fields of {!stats}. *)
 
 val auto_selected : t -> bool
 (** [true] iff [`Auto]/[`AutoLegacy] resolution picked the circuit

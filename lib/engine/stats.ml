@@ -28,6 +28,15 @@ type t = {
   circuit_cache_drops : int;
   circuit_compile_s : float;
   circuit_traverse_s : float;
+  sample_strategy : string;
+  sample_seed : int;
+  sample_draws : int;
+  sample_exact_strata : int;
+  sample_sampled_strata : int;
+  sample_max_hw : string;
+  sample_epsilon : string;
+  sample_confidence : string;
+  sample_converged : bool;
   span_s : (string * int * float) array;
 }
 
@@ -38,6 +47,9 @@ let zero =
     backend = "conditioning"; circuit_nodes = 0; circuit_edges = 0;
     circuit_smoothing = 0; circuit_cache_hits = 0; circuit_cache_misses = 0;
     circuit_cache_drops = 0; circuit_compile_s = 0.; circuit_traverse_s = 0.;
+    sample_strategy = ""; sample_seed = 0; sample_draws = 0;
+    sample_exact_strata = 0; sample_sampled_strata = 0; sample_max_hw = "0";
+    sample_epsilon = "0"; sample_confidence = "0"; sample_converged = false;
     span_s = [||] }
 
 let sum_domains proj s = Array.fold_left (fun acc d -> acc + proj d) 0 s.domains
@@ -93,6 +105,19 @@ let to_string s =
               s.circuit_cache_hits s.circuit_cache_misses s.circuit_cache_drops;
           ]
         else [])
+     @ (if s.backend = "sample" then
+          [
+            Printf.sprintf "  backend       : %s\n" s.backend;
+            Printf.sprintf
+              "  sampling      : %s, seed %d, %d draws, %d/%d strata exact/sampled\n"
+              s.sample_strategy s.sample_seed s.sample_draws
+              s.sample_exact_strata s.sample_sampled_strata;
+            Printf.sprintf
+              "  ci            : half-width <= %s (target %s at confidence %s) — %s\n"
+              s.sample_max_hw s.sample_epsilon s.sample_confidence
+              (if s.sample_converged then "converged" else "budget exhausted");
+          ]
+        else [])
      @ [
          Printf.sprintf "  compile time  : %.2fms\n" (ms s.compile_s);
          Printf.sprintf "  eval time  : %.2fms\n" (ms s.eval_s);
@@ -129,7 +154,11 @@ let to_json s =
      \"backend\":\"%s\",\"circuit_nodes\":%d,\"circuit_edges\":%d,\
      \"circuit_smoothing\":%d,\"circuit_cache_hits\":%d,\
      \"circuit_cache_misses\":%d,\"circuit_cache_drops\":%d,\
-     \"circuit_compile_ms\":%.3f,\"circuit_traverse_ms\":%.3f}"
+     \"circuit_compile_ms\":%.3f,\"circuit_traverse_ms\":%.3f,\
+     \"sample_strategy\":%S,\"sample_seed\":%d,\"sample_draws\":%d,\
+     \"sample_exact_strata\":%d,\"sample_sampled_strata\":%d,\
+     \"sample_max_hw\":%S,\"sample_epsilon\":%S,\"sample_confidence\":%S,\
+     \"sample_converged\":%b}"
     s.players s.compilations s.conditionings s.cache_hits s.cache_misses
     s.cache_size
     (if s.cache_capacity = max_int then "null" else string_of_int s.cache_capacity)
@@ -137,4 +166,6 @@ let to_json s =
     (par_steals s) (ms s.compile_s) (ms s.eval_s) s.backend s.circuit_nodes
     s.circuit_edges s.circuit_smoothing s.circuit_cache_hits
     s.circuit_cache_misses s.circuit_cache_drops (ms s.circuit_compile_s)
-    (ms s.circuit_traverse_s)
+    (ms s.circuit_traverse_s) s.sample_strategy s.sample_seed s.sample_draws
+    s.sample_exact_strata s.sample_sampled_strata s.sample_max_hw
+    s.sample_epsilon s.sample_confidence s.sample_converged

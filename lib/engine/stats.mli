@@ -67,6 +67,21 @@ type t = {
   circuit_cache_drops : int;
   circuit_compile_s : float;
   circuit_traverse_s : float;
+  sample_strategy : string;
+      (** ["mc"] / ["stratified"] / ["hybrid"] under the sample backend,
+          [""] otherwise (the [sample_*] fields are only meaningful when
+          [backend = "sample"]) *)
+  sample_seed : int;
+  sample_draws : int;  (** {!Sample.report.total_draws} of the last run *)
+  sample_exact_strata : int;
+      (** strata enumerated exactly, summed over facts *)
+  sample_sampled_strata : int;
+  sample_max_hw : string;
+      (** exact rational string of the largest reported CI half-width *)
+  sample_epsilon : string;  (** the configured target, exact rational *)
+  sample_confidence : string;
+  sample_converged : bool;
+      (** every fact's half-width hit the [epsilon] target in budget *)
   span_s : (string * int * float) array;
       (** telemetry span rollup: (span name, completions, total seconds),
           sorted by name — [Telemetry.aggregate] of the run's tracer.
@@ -108,8 +123,14 @@ val to_json : t -> string
     [par_cache_misses], [par_steals], [compile_ms], [eval_ms],
     [backend], [circuit_nodes], [circuit_edges], [circuit_smoothing],
     [circuit_cache_hits], [circuit_cache_misses], [circuit_cache_drops],
-    [circuit_compile_ms], [circuit_traverse_ms]).  The [par_*] fields
+    [circuit_compile_ms], [circuit_traverse_ms], [sample_strategy],
+    [sample_seed], [sample_draws], [sample_exact_strata],
+    [sample_sampled_strata], [sample_max_hw], [sample_epsilon],
+    [sample_confidence], [sample_converged]).  The [par_*] fields
     aggregate the per-domain counters (all [0] at [jobs = 1]); the
-    [circuit_*] fields are all [0] under the conditioning backend. *)
+    [circuit_*] fields are all [0] under the conditioning backend; the
+    [sample_*] fields are at their {!zero} defaults unless
+    [backend = "sample"] — all deterministic given the seed, so none is
+    masked by {!normalize}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,18 @@ let domains t = t.n_domains
 
 let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
+(* Machine-readable skip reason for wall-clock speedup gates (the bench
+   JSONs).  The host check outranks the cap check: a host with fewer
+   domains than the gate needs can never exhibit the speedup, whatever
+   the instance sizes — and BENCH_parallel.json once recorded a "pass"
+   from a 1-domain host where the numbers meant nothing. *)
+let bench_gate ~required ~host ~cap =
+  if host < required then Some (Printf.sprintf "host_domains=%d" host)
+  else
+    match cap with
+    | Some n -> Some (Printf.sprintf "cap=%d" n)
+    | None -> None
+
 type stats = { claims : int array; steals : int array }
 
 let map_stats ?(tel = Telemetry.disabled ()) ?chunk pool f arr =

@@ -38,6 +38,15 @@ val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()], floored at [1] — the [0 =
     auto] resolution used by every [--jobs] flag. *)
 
+val bench_gate : required:int -> host:int -> cap:int option -> string option
+(** Machine-readable skip reason for a wall-clock speedup gate that
+    needs [required] true domains: [Some "host_domains=H"] when the host
+    reports [host < required] domains (the speedup physically cannot
+    show, whatever else holds — this check outranks the cap),
+    [Some "cap=N"] on a size-capped smoke run, [None] when the gate is
+    enforceable.  The string lands verbatim in the bench JSONs'
+    ["skipped"] field, so its shape is pinned by a regression test. *)
+
 type stats = {
   claims : int array;  (** chunks claimed, per worker slot *)
   steals : int array;

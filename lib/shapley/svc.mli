@@ -32,6 +32,12 @@ val svc_all :
     per-fact conditionings out across that many domains — values and
     order are identical for every [jobs] and every backend.  [tel] is
     handed to the underlying {!Engine.create}.
+
+    For instances beyond exact reach, [~backend:(`Sample cfg)] swaps in
+    the seeded anytime estimator of [lib/sample]: approximate values
+    with rational confidence intervals, deterministic given
+    [cfg.seed] — and rationally {e equal} to the exact backends when
+    the hybrid strategy's every stratum fits under its exact cap.
     @raise Invalid_argument if [jobs < 0]. *)
 
 val svc_all_naive : Query.t -> Database.t -> (Fact.t * Rational.t) list

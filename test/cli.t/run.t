@@ -56,7 +56,7 @@ deterministic; only the wall-clock lines are masked):
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  {"players":4,"compilations":1,"conditionings":5,"cache_hits":5,"cache_misses":11,"cache_size":11,"cache_capacity":1048576,"cache_drops":0,"poly_ops":36,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"conditioning","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000}
+  {"players":4,"compilations":1,"conditionings":5,"cache_hits":5,"cache_misses":11,"cache_size":11,"cache_capacity":1048576,"cache_drops":0,"poly_ops":36,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"conditioning","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000,"sample_strategy":"","sample_seed":0,"sample_draws":0,"sample_exact_strata":0,"sample_sampled_strata":0,"sample_max_hw":"0","sample_epsilon":"0","sample_confidence":"0","sample_converged":false}
 
 --jobs fans the per-fact conditioning out across stdlib domains.  Values
 and order are identical to the serial run for every jobs count; each
@@ -94,7 +94,7 @@ as the par_* fields):
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  {"players":4,"compilations":1,"conditionings":5,"cache_hits":0,"cache_misses":6,"cache_size":6,"cache_capacity":1048576,"cache_drops":0,"poly_ops":16,"jobs":4,"par_facts":4,"par_cache_hits":5,"par_cache_misses":5,"par_steals":null,"compile_ms":null,"eval_ms":null,"backend":"conditioning","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000}
+  {"players":4,"compilations":1,"conditionings":5,"cache_hits":0,"cache_misses":6,"cache_size":6,"cache_capacity":1048576,"cache_drops":0,"poly_ops":16,"jobs":4,"par_facts":4,"par_cache_hits":5,"par_cache_misses":5,"par_steals":null,"compile_ms":null,"eval_ms":null,"backend":"conditioning","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000,"sample_strategy":"","sample_seed":0,"sample_draws":0,"sample_exact_strata":0,"sample_sampled_strata":0,"sample_max_hw":"0","sample_epsilon":"0","sample_confidence":"0","sample_converged":false}
 
 A negative jobs count errors cleanly:
 
@@ -161,7 +161,7 @@ patterns below are quote-anchored so they cannot):
   S(1,2)                         1/12  (≈ 0.0833)
   T(2)                           1/12  (≈ 0.0833)
   sum: 1
-  {"players":4,"compilations":1,"conditionings":0,"cache_hits":0,"cache_misses":0,"cache_size":0,"cache_capacity":1048576,"cache_drops":0,"poly_ops":0,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"circuit","circuit_nodes":15,"circuit_edges":20,"circuit_smoothing":5,"circuit_cache_hits":1,"circuit_cache_misses":4,"circuit_cache_drops":0,"circuit_compile_ms":null,"circuit_traverse_ms":null}
+  {"players":4,"compilations":1,"conditionings":0,"cache_hits":0,"cache_misses":0,"cache_size":0,"cache_capacity":1048576,"cache_drops":0,"poly_ops":0,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"circuit","circuit_nodes":15,"circuit_edges":20,"circuit_smoothing":5,"circuit_cache_hits":1,"circuit_cache_misses":4,"circuit_cache_drops":0,"circuit_compile_ms":null,"circuit_traverse_ms":null,"sample_strategy":"","sample_seed":0,"sample_draws":0,"sample_exact_strata":0,"sample_sampled_strata":0,"sample_max_hw":"0","sample_epsilon":"0","sample_confidence":"0","sample_converged":false}
 
 With the default --backend auto, the engine consults the compilation
 planner: a serial batch gets the circuit backend exactly when the
@@ -229,8 +229,80 @@ ahead of the values:
 An unknown backend errors cleanly:
 
   $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend typo
-  svc eval: unknown backend "typo" (expected auto, auto-legacy, conditioning or circuit)
+  svc eval: unknown backend "typo" (expected auto, auto-legacy, conditioning, circuit or sample)
   [2]
+
+--backend sample runs the seeded anytime estimator.  The whole run is
+a deterministic function of --seed, so the values and every sample_*
+stats field can be pinned exactly.  With the default hybrid strategy
+on a tiny instance every stratum fits under the exact cap: the values
+are the exact engine's, rationally, with a zero-width interval and no
+draws spent:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend sample --seed 42 --stats=json \
+  >   | sed -e 's/"compile_ms":[0-9.]*/"compile_ms":null/' \
+  >         -e 's/"eval_ms":[0-9.]*/"eval_ms":null/'
+  R(1)                           7/12  (≈ 0.5833)
+  S(1,3)                         1/4  (≈ 0.2500)
+  S(1,2)                         1/12  (≈ 0.0833)
+  T(2)                           1/12  (≈ 0.0833)
+  sum: 1
+  {"players":4,"compilations":1,"conditionings":0,"cache_hits":0,"cache_misses":0,"cache_size":0,"cache_capacity":1048576,"cache_drops":0,"poly_ops":0,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"sample","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000,"sample_strategy":"hybrid","sample_seed":42,"sample_draws":0,"sample_exact_strata":16,"sample_sampled_strata":0,"sample_max_hw":"0","sample_epsilon":"1/20","sample_confidence":"19/20","sample_converged":true}
+
+--strategy mc switches to Monte-Carlo permutation sampling: estimates
+become pivot-count fractions over the shared draw budget, and the
+anytime loop stops at the first batch whose Hoeffding half-width
+clears --epsilon (here one 64-permutation batch):
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend sample --strategy mc --seed 42 --epsilon 1/4 --stats=json \
+  >   | sed -e 's/"compile_ms":[0-9.]*/"compile_ms":null/' \
+  >         -e 's/"eval_ms":[0-9.]*/"eval_ms":null/'
+  R(1)                           19/32  (≈ 0.5938)
+  S(1,3)                         7/32  (≈ 0.2188)
+  T(2)                           7/64  (≈ 0.1094)
+  S(1,2)                         5/64  (≈ 0.0781)
+  sum: 1
+  {"players":4,"compilations":1,"conditionings":0,"cache_hits":0,"cache_misses":0,"cache_size":0,"cache_capacity":1048576,"cache_drops":0,"poly_ops":0,"jobs":1,"par_facts":0,"par_cache_hits":0,"par_cache_misses":0,"par_steals":0,"compile_ms":null,"eval_ms":null,"backend":"sample","circuit_nodes":0,"circuit_edges":0,"circuit_smoothing":0,"circuit_cache_hits":0,"circuit_cache_misses":0,"circuit_cache_drops":0,"circuit_compile_ms":0.000,"circuit_traverse_ms":0.000,"sample_strategy":"mc","sample_seed":42,"sample_draws":64,"sample_exact_strata":0,"sample_sampled_strata":0,"sample_max_hw":"1090429640096049481/6400000000000000000","sample_epsilon":"1/4","sample_confidence":"19/20","sample_converged":true}
+
+Bad sampling parameters error cleanly (note --max-draws needs the
+--flag=value form for a negative value, as any cmdliner option does):
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend sample --epsilon 0
+  svc eval: --epsilon must be > 0 (got 0)
+  [2]
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend sample --max-draws=-1
+  svc eval: --max-draws must be >= 1 (got -1)
+  [2]
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend sample --strategy typo
+  svc eval: unknown strategy "typo" (expected mc, stratified or hybrid)
+  [2]
+
+A traced sampling run records sample.* spans and counters alongside
+the engine ones — draws, evaluations, strata split and the final
+half-width in parts per million:
+
+  $ ../../bin/svc_cli.exe eval demo.db "R(?x), S(?x,?y), T(?y)" --backend sample --seed 1 --strategy mc --epsilon 1/4 --trace sample.json >/dev/null
+  $ ../../bin/svc_cli.exe trace summary sample.json \
+  >   | sed -e 's/time  *: .*/time  : [MASKED]/'
+  trace summary : sample.json
+  events        : 12 (4 spans, 1 metadata, 7 counter samples)
+  tracks        : 1
+    track 0 (main)            : 4 spans
+  spans by name:
+    engine.eval                                 1x  time  : [MASKED]
+    engine.lineage                              1x  time  : [MASKED]
+    sample.eval                                 1x  time  : [MASKED]
+    sample.round                                1x  time  : [MASKED]
+  counters:
+    engine.compilations                      1
+    engine.conditionings                     0
+    sample.draws                             64
+    sample.evals                             130
+    sample.exact_strata                      0
+    sample.sampled_strata                    0
+    sample.max_hw_ppm                        170380
 
 --trace records the run as a Chrome trace_event file (loadable in
 about:tracing / Perfetto) next to the usual output:

@@ -23,6 +23,7 @@ let () =
       ("circuit", Test_circuit.suite);
       ("plan", Test_plan.suite);
       ("parallel", Test_parallel.suite);
+      ("sample", Test_sample.suite);
       ("telemetry", Test_telemetry.suite);
       ("reductions", Test_reductions.suite);
       ("fgmc-to-svc", Test_fgmc_to_svc.suite);

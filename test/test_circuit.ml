@@ -218,7 +218,11 @@ let test_stats_normalize_and_json () =
      \"circuit_nodes\":0,\"circuit_edges\":0,\"circuit_smoothing\":0,\
      \"circuit_cache_hits\":0,\"circuit_cache_misses\":0,\
      \"circuit_cache_drops\":0,\"circuit_compile_ms\":0.000,\
-     \"circuit_traverse_ms\":0.000}"
+     \"circuit_traverse_ms\":0.000,\"sample_strategy\":\"\",\
+     \"sample_seed\":0,\"sample_draws\":0,\"sample_exact_strata\":0,\
+     \"sample_sampled_strata\":0,\"sample_max_hw\":\"0\",\
+     \"sample_epsilon\":\"0\",\"sample_confidence\":\"0\",\
+     \"sample_converged\":false}"
     (Stats.to_json Stats.zero)
 
 (* null players sit outside the circuit's variable set and still get

@@ -74,6 +74,19 @@ let test_pool_guards () =
   Alcotest.(check bool) "recommended_domains >= 1" true
     (Pool.recommended_domains () >= 1)
 
+(* The bench JSONs' "skipped" field is machine-read by CI tooling; pin
+   the exact strings so a rewording shows up as a test failure, not as
+   a silently broken artifact consumer. *)
+let test_bench_gate_shape () =
+  let check = Alcotest.(check (option string)) in
+  check "1-domain host, no cap" (Some "host_domains=1")
+    (Pool.bench_gate ~required:4 ~host:1 ~cap:None);
+  check "host check outranks the cap" (Some "host_domains=1")
+    (Pool.bench_gate ~required:4 ~host:1 ~cap:(Some 20));
+  check "capped smoke run on a capable host" (Some "cap=20")
+    (Pool.bench_gate ~required:4 ~host:4 ~cap:(Some 20));
+  check "enforceable gate" None (Pool.bench_gate ~required:4 ~host:8 ~cap:None)
+
 (* ------------------------------------------------------------------ *)
 (* Differential properties: jobs is unobservable in the values         *)
 (* ------------------------------------------------------------------ *)
@@ -196,6 +209,8 @@ let suite =
     Alcotest.test_case "pool: exceptions propagate, pool survives" `Quick
       test_pool_exception;
     Alcotest.test_case "pool: guards" `Quick test_pool_guards;
+    Alcotest.test_case "bench_gate skip-reason shape" `Quick
+      test_bench_gate_shape;
     prop_jobs_vs_naive;
     prop_jobs_vs_naive_graph;
     prop_banzhaf_parallel;

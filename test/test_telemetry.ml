@@ -309,7 +309,10 @@ let pinned_stats_keys =
     "par_facts"; "par_cache_hits"; "par_cache_misses"; "par_steals";
     "compile_ms"; "eval_ms"; "backend"; "circuit_nodes"; "circuit_edges";
     "circuit_smoothing"; "circuit_cache_hits"; "circuit_cache_misses";
-    "circuit_cache_drops"; "circuit_compile_ms"; "circuit_traverse_ms" ]
+    "circuit_cache_drops"; "circuit_compile_ms"; "circuit_traverse_ms";
+    "sample_strategy"; "sample_seed"; "sample_draws"; "sample_exact_strata";
+    "sample_sampled_strata"; "sample_max_hw"; "sample_epsilon";
+    "sample_confidence"; "sample_converged" ]
 
 let json_keys text =
   match Tracejson.parse text with
@@ -334,7 +337,8 @@ let strip_wallclock text =
 
 let backends_jobs =
   [ (`Conditioning, 1); (`Conditioning, 4); (`Circuit, 1); (`Circuit, 4);
-    (`Auto, 1); (`Auto, 4) ]
+    (`Auto, 1); (`Auto, 4); (`Sample Sample.default, 1);
+    (`Sample Sample.default, 4) ]
 
 let test_differential_off_vs_on () =
   List.iter
@@ -346,7 +350,8 @@ let test_differential_off_vs_on () =
          Printf.sprintf "backend=%s jobs=%d"
            (match Engine.backend off with
             | `Conditioning -> "conditioning"
-            | `Circuit -> "circuit")
+            | `Circuit -> "circuit"
+            | `Sample _ -> "sample")
            jobs
        in
        let v_off = Engine.svc_all off and v_on = Engine.svc_all on in
