@@ -127,8 +127,6 @@ let circuit () =
     "d-DNNF knowledge-compilation backend vs conditioning engine (emits \
      BENCH_circuit.json)";
   let cap = cap () in
-  let q_safe = Query_parse.parse "R(?x), S(?x,?y)" in
-  let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)" in
   (* Two roles: the star family is where compilation amortizes (lineage is
      a wide independent union, so the d-DNNF is linear-size and one
      compilation replaces n conditioned counts) and carries the gate at
@@ -137,20 +135,10 @@ let circuit () =
      super-linearly while the conditioning counter exploits independent
      unions per branch) and is kept as correctness/telemetry coverage. *)
   let instances =
-    List.filter_map
-      (fun spokes ->
-         let db = Workload.star_join ~spokes in
-         if Database.size_endo db <= cap then
-           Some ("safe R(x),S(x,y) [star]", q_safe, db)
-         else None)
-      [ 8; 16; 32; 64; 96 ]
-    @ List.filter_map
-        (fun rows ->
-           let db = Workload.rst_gadget ~complete:true ~rows ~extra_exo:false () in
-           if Database.size_endo db <= cap then
-             Some ("unsafe q_RST [bipartite]", qrst, db)
-           else None)
-        [ 2; 3; 4 ]
+    Report.family_instances ~cap ~family:"star"
+      ~label:"safe R(x),S(x,y) [star]" [ 8; 16; 32; 64; 96 ]
+    @ Report.family_instances ~cap ~family:"bipartite"
+        ~label:"unsafe q_RST [bipartite]" [ 2; 3; 4 ]
   in
   let results = List.map (fun (f, q, db) -> run_instance ~family:f q db) instances in
   let entries = List.map fst results in

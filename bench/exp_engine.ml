@@ -68,23 +68,11 @@ let engine ?(jobs = 1) () =
        "Batched memoizing SVC engine (jobs=%d) vs per-fact svc_all_naive \
         (emits BENCH_engine.json)" jobs);
   let cap = cap () in
-  let q_safe = Query_parse.parse "R(?x), S(?x,?y)" in
-  let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)" in
   let instances =
-    List.filter_map
-      (fun spokes ->
-         let db = Workload.star_join ~spokes in
-         if Database.size_endo db <= cap then
-           Some ("safe R(x),S(x,y) [star]", q_safe, db)
-         else None)
-      [ 4; 8; 16; 32; 64 ]
-    @ List.filter_map
-        (fun rows ->
-           let db = Workload.rst_gadget ~complete:true ~rows ~extra_exo:false () in
-           if Database.size_endo db <= cap then
-             Some ("unsafe q_RST [bipartite]", qrst, db)
-           else None)
-        [ 2; 3; 4; 5 ]
+    Report.family_instances ~cap ~family:"star"
+      ~label:"safe R(x),S(x,y) [star]" [ 4; 8; 16; 32; 64 ]
+    @ Report.family_instances ~cap ~family:"bipartite"
+        ~label:"unsafe q_RST [bipartite]" [ 2; 3; 4; 5 ]
   in
   let results =
     List.map (fun (f, q, db) -> run_instance ~jobs ~family:f q db) instances

@@ -90,23 +90,11 @@ let parallel () =
   Report.heading "PARALLEL"
     "Multicore fan-out engine: jobs 1 vs 2 vs 4 (emits BENCH_parallel.json)";
   let cap = cap () in
-  let q_safe = Query_parse.parse "R(?x), S(?x,?y)" in
-  let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)" in
   let instances =
-    List.filter_map
-      (fun spokes ->
-         let db = Workload.star_join ~spokes in
-         if Database.size_endo db <= cap then
-           Some ("safe R(x),S(x,y) [star]", q_safe, db)
-         else None)
-      [ 16; 32; 64; 96 ]
-    @ List.filter_map
-        (fun rows ->
-           let db = Workload.rst_gadget ~complete:true ~rows ~extra_exo:false () in
-           if Database.size_endo db <= cap then
-             Some ("unsafe q_RST [bipartite]", qrst, db)
-           else None)
-        [ 3; 4; 5 ]
+    Report.family_instances ~cap ~family:"star"
+      ~label:"safe R(x),S(x,y) [star]" [ 16; 32; 64; 96 ]
+    @ Report.family_instances ~cap ~family:"bipartite"
+        ~label:"unsafe q_RST [bipartite]" [ 3; 4; 5 ]
   in
   let results = List.map (fun (f, q, db) -> run_instance ~family:f q db) instances in
   let entries = List.map fst results in

@@ -2,7 +2,6 @@
    the design choices of DESIGN.md §5 measured. *)
 
 let qrst = Query_parse.parse "R(?x), S(?x,?y), T(?y)"
-let q_safe = Query_parse.parse "R(?x), S(?x,?y)"
 
 (* SCALE: lineage-based counting vs subset brute force as |D| grows, for a
    safe (hierarchical) query and an unsafe one.  The expected *shape*: the
@@ -13,36 +12,24 @@ let q_safe = Query_parse.parse "R(?x), S(?x,?y)"
 let scale () =
   Report.heading "SCALE" "Complexity separation: safe vs unsafe query, lineage vs brute force";
   let rows = ref [] in
-  List.iter
-    (fun spokes ->
-       let db = Workload.star_join ~spokes in
-       let _, t_lineage = Report.time_it (fun () -> Model_counting.fgmc_polynomial q_safe db) in
-       let t_brute =
-         if Database.size_endo db <= 18 then
-           snd (Report.time_it (fun () -> Model_counting.fgmc_polynomial_brute q_safe db))
-         else Float.nan
-       in
-       rows :=
-         [ "safe R(x),S(x,y) [star]"; string_of_int (Database.size_endo db);
-           Report.ms t_lineage;
-           (if Float.is_nan t_brute then "(skipped: 2^n)" else Report.ms t_brute) ]
-         :: !rows)
-    [ 6; 10; 14; 18; 40; 80; 160 ];
-  List.iter
-    (fun roots ->
-       let db = Workload.rst_gadget ~complete:true ~rows:roots ~extra_exo:false () in
-       let _, t_lineage = Report.time_it (fun () -> Model_counting.fgmc_polynomial qrst db) in
-       let t_brute =
-         if Database.size_endo db <= 18 then
-           snd (Report.time_it (fun () -> Model_counting.fgmc_polynomial_brute qrst db))
-         else Float.nan
-       in
-       rows :=
-         [ "unsafe q_RST [bipartite]"; string_of_int (Database.size_endo db);
-           Report.ms t_lineage;
-           (if Float.is_nan t_brute then "(skipped: 2^n)" else Report.ms t_brute) ]
-         :: !rows)
-    [ 2; 3; 4; 5; 6; 7 ];
+  let run (family, q, db) =
+    let _, t_lineage = Report.time_it (fun () -> Model_counting.fgmc_polynomial q db) in
+    let t_brute =
+      if Database.size_endo db <= 18 then
+        snd (Report.time_it (fun () -> Model_counting.fgmc_polynomial_brute q db))
+      else Float.nan
+    in
+    rows :=
+      [ family; string_of_int (Database.size_endo db);
+        Report.ms t_lineage;
+        (if Float.is_nan t_brute then "(skipped: 2^n)" else Report.ms t_brute) ]
+      :: !rows
+  in
+  List.iter run
+    (Report.family_instances ~cap:max_int ~family:"star"
+       ~label:"safe R(x),S(x,y) [star]" [ 6; 10; 14; 18; 40; 80; 160 ]
+     @ Report.family_instances ~cap:max_int ~family:"bipartite"
+         ~label:"unsafe q_RST [bipartite]" [ 2; 3; 4; 5; 6; 7 ]);
   Report.table ~headers:[ "query [instance family]"; "|Dn|"; "lineage"; "brute force" ]
     (List.rev !rows);
   Printf.printf
@@ -74,20 +61,10 @@ let sample () =
       ~max_draws:4096 ()
   in
   let instances =
-    List.filter_map
-      (fun rows ->
-         let db = Workload.rst_gadget ~complete:true ~rows ~extra_exo:false () in
-         if Database.size_endo db <= cap then
-           Some ("unsafe q_RST [bipartite]", qrst, db)
-         else None)
-      [ 32; 50; 70; 100 ]
-    @ List.filter_map
-        (fun spokes ->
-           let db = Workload.star_join ~spokes in
-           if Database.size_endo db <= cap then
-             Some ("safe R(x),S(x,y) [star]", q_safe, db)
-           else None)
-        [ 1000; 10000 ]
+    Report.family_instances ~cap ~family:"bipartite"
+      ~label:"unsafe q_RST [bipartite]" [ 32; 50; 70; 100 ]
+    @ Report.family_instances ~cap ~family:"star"
+        ~label:"safe R(x),S(x,y) [star]" [ 1000; 10000 ]
   in
   let rows = ref [] and entries = ref [] and all_converged = ref true in
   List.iter
@@ -122,11 +99,13 @@ let sample () =
   (* small-instance sanity: the hybrid estimator with every stratum under
      the exact cap must equal the exact engine rationally (|Dn|=15 needs
      exact_cap >= C(14,7) = 3432 to keep every stratum exact) *)
-  let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
+  let sanity_case = Workload.generate ~family:"bipartite" ~seed:0 ~size:3 in
+  let q_sanity = sanity_case.Workload.query
+  and db = sanity_case.Workload.db in
   let all_exact = Sample.config ~exact_cap:4000 () in
   let hybrid =
-    Engine.svc_all (Engine.create ~backend:(`Sample all_exact) qrst db)
-  and exact = Engine.svc_all (Engine.create ~backend:`Conditioning qrst db) in
+    Engine.svc_all (Engine.create ~backend:(`Sample all_exact) q_sanity db)
+  and exact = Engine.svc_all (Engine.create ~backend:`Conditioning q_sanity db) in
   let sanity =
     List.length hybrid = List.length exact
     && List.for_all2

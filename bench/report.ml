@@ -42,6 +42,19 @@ let table ~headers rows =
 
 let ok b = if b then "ok" else "FAIL"
 
+(* Registry-backed instance lists: the seed-0 member of a workload family
+   at each size, capped by |Dn| for smoke runs.  Every experiment sources
+   its instances from lib/workload's generator registry, so the benches
+   and the conformance suite exercise the same databases. *)
+let family_instances ~cap ~family ~label sizes =
+  List.filter_map
+    (fun size ->
+       let c = Workload.generate ~family ~seed:0 ~size in
+       if Database.size_endo c.Workload.db <= cap then
+         Some (label, c.Workload.query, c.Workload.db)
+       else None)
+    sizes
+
 let now () = Unix.gettimeofday ()
 
 let time_it f =

@@ -285,3 +285,248 @@ let star_join ~spokes =
   let hub = "hub" in
   let s_facts = List.init spokes (fun i -> Fact.make "S" [ hub; Printf.sprintf "n%d" i ]) in
   Database.make ~endo:(Fact.make "R" [ hub ] :: s_facts) ~exo:[]
+
+(* ------------------------------------------------------------------ *)
+(* Generator registry: seeded, size-parameterized instance families    *)
+(* ------------------------------------------------------------------ *)
+
+module Family = struct
+  type tractability = [ `Fp | `Hard | `Mixed ]
+
+  let tractability_to_string = function
+    | `Fp -> "FP"
+    | `Hard -> "#P-hard"
+    | `Mixed -> "mixed"
+
+  type t = {
+    name : string;
+    description : string;
+    tractability : tractability;
+    generate : seed:int -> size:int -> case;
+  }
+end
+
+let registry : Family.t list ref = ref []
+
+let register_family (f : Family.t) =
+  if String.trim f.Family.name = "" then
+    invalid_arg "Workload.register_family: empty family name";
+  if List.exists (fun (g : Family.t) -> g.Family.name = f.Family.name) !registry
+  then
+    invalid_arg
+      (Printf.sprintf "Workload.register_family: duplicate family %S"
+         f.Family.name);
+  registry := !registry @ [ f ]
+
+let families () = !registry
+
+let find_family name =
+  List.find_opt (fun (f : Family.t) -> f.Family.name = name) !registry
+
+let case_name ~family ~seed ~size = Printf.sprintf "%s-s%d-n%d" family seed size
+
+let to_workload c = { wname = c.cname; cases = [ c ] }
+
+(* Every generator below is a pure function of (seed, size): the only
+   randomness is the xorshift [rng] above, consumed in a fixed order, so
+   a (family, seed, size) triple always serializes byte-identically (the
+   golden-digest regression test in test/test_conformance.ml pins this).
+   At [seed = 0] the star and bipartite families reproduce the historical
+   bench instances ([star_join], complete [rst_gadget]) exactly, keeping
+   the BENCH_*.json history comparable. *)
+
+let star_family ~seed ~size =
+  let name = case_name ~family:"star" ~seed ~size in
+  let db =
+    if seed = 0 then star_join ~spokes:size
+    else begin
+      (* seeded variation: some spokes become exogenous *)
+      let r = rng seed in
+      let hub = "hub" in
+      let endo = ref [ Fact.make "R" [ hub ] ] and exo = ref [] in
+      for i = 0 to size - 1 do
+        let f = Fact.make "S" [ hub; Printf.sprintf "n%d" i ] in
+        if int r 4 = 0 then exo := f :: !exo else endo := f :: !endo
+      done;
+      Database.make ~endo:(List.rev !endo) ~exo:(List.rev !exo)
+    end
+  in
+  case ~name ~query_src:"R(?x), S(?x,?y)" ~db
+
+let bipartite_family ~seed ~size =
+  let name = case_name ~family:"bipartite" ~seed ~size in
+  let db =
+    if seed = 0 then rst_gadget ~complete:true ~rows:size ~extra_exo:false ()
+    else begin
+      (* seeded variation: a random sub-grid of the S block *)
+      let r = rng seed in
+      let left i = Printf.sprintf "l%d" i and right i = Printf.sprintf "r%d" i in
+      let rt =
+        List.init size (fun i -> Fact.make "R" [ left i ])
+        @ List.init size (fun i -> Fact.make "T" [ right i ])
+      in
+      let s =
+        List.concat
+          (List.init size (fun i ->
+               List.filter_map
+                 (fun j ->
+                    if int r 3 < 2 then Some (Fact.make "S" [ left i; right j ])
+                    else None)
+                 (List.init size Fun.id)))
+      in
+      Database.make ~endo:(rt @ s) ~exo:[]
+    end
+  in
+  case ~name ~query_src:"R(?x), S(?x,?y), T(?y)" ~db
+
+let rpq_road_family ~seed ~size =
+  (* the examples/road_network.ml topology, scaled: a primary corridor
+     home →Road st0 →Rail … →Rail st(size-1) →Road hub, seeded rail
+     bypasses and road on-ramps, and a Ferry shortcut kept exogenous *)
+  let name = case_name ~family:"rpq-road" ~seed ~size in
+  let station i = Printf.sprintf "st%d" i in
+  let corridor =
+    Fact.make "Road" [ "home"; station 0 ]
+    :: Fact.make "Road" [ station (size - 1); "hub" ]
+    :: List.init (size - 1) (fun i ->
+           Fact.make "Rail" [ station i; station (i + 1) ])
+  in
+  let r = rng seed in
+  let bypasses =
+    if size < 2 then []
+    else
+      List.concat
+        (List.init size (fun _ ->
+             if bool r then begin
+               let i = int r (size - 1) in
+               let j = i + 1 + int r (size - 1 - i) in
+               [ Fact.make "Rail" [ station i; station j ] ]
+             end
+             else []))
+  in
+  let onramp =
+    if bool r then [ Fact.make "Road" [ "home"; station (int r size) ] ]
+    else []
+  in
+  let db =
+    Database.of_sets
+      ~endo:(Fact.Set.of_list (corridor @ bypasses @ onramp))
+      ~exo:(Fact.Set.singleton (Fact.make "Ferry" [ "home"; "hub" ]))
+  in
+  case ~name ~query_src:"rpq: (Road Rail* Road)(home, hub)" ~db
+
+let crpq_family ~seed ~size =
+  let name = case_name ~family:"crpq" ~seed ~size in
+  let r = rng seed in
+  let nodes =
+    "s" :: "t" :: List.init (min size 4) (fun i -> Printf.sprintf "v%d" i)
+  in
+  let n_exo = int r 3 in
+  let db = random_graph r ~labels:[ "A"; "B" ] ~nodes ~n_endo:size ~n_exo in
+  case ~name ~query_src:"crpq: (AB+BA)(?x,t)" ~db
+
+let cqneg_family ~seed ~size =
+  let name = case_name ~family:"cqneg" ~seed ~size in
+  let r = rng seed in
+  let n_exo = int r 3 in
+  let db =
+    random_database r
+      ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+      ~consts:[ "1"; "2"; "3"; "4" ] ~n_endo:size ~n_exo
+  in
+  case ~name ~query_src:"cqneg: R(?x), S(?x,?y), !T(?y)" ~db
+
+let endogenous_family ~seed ~size =
+  let name = case_name ~family:"endogenous" ~seed ~size in
+  let r = rng seed in
+  let db =
+    random_database r
+      ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+      ~consts:[ "1"; "2"; "3" ] ~n_endo:size ~n_exo:0
+  in
+  case ~name ~query_src:"R(?x), S(?x,?y), T(?y)" ~db
+
+let max_svc_family ~seed ~size =
+  (* a guaranteed singleton generalized support (Lemma 6.3): with R(h)
+     and T(k) exogenous, the endogenous bridge S(h,k) alone satisfies
+     q_RST — max-SVC must rank it (or a tie) on top — plus seeded noise *)
+  let name = case_name ~family:"max-svc" ~seed ~size in
+  let r = rng seed in
+  let bridge = Fact.make "S" [ "h"; "k" ] in
+  let exo = Fact.Set.of_list [ Fact.make "R" [ "h" ]; Fact.make "T" [ "k" ] ] in
+  let gen r =
+    random_fact r
+      ~rels:[ ("R", 1); ("S", 2); ("T", 1) ]
+      ~consts:[ "h"; "k"; "1"; "2" ]
+  in
+  let noise =
+    distinct_facts r ~gen ~count:(size - 1)
+      ~avoid:(Fact.Set.add bridge exo)
+  in
+  let db = Database.of_sets ~endo:(Fact.Set.add bridge noise) ~exo in
+  case ~name ~query_src:"R(?x), S(?x,?y), T(?y)" ~db
+
+let const_svc_family ~seed ~size =
+  (* purely endogenous chain-join instances for the §6.4 constant-player
+     variant: every constant of the graph can be promoted to a player *)
+  let name = case_name ~family:"const-svc" ~seed ~size in
+  let r = rng seed in
+  let db =
+    random_graph r ~labels:[ "R"; "T" ]
+      ~nodes:[ "1"; "2"; "3"; "4" ] ~n_endo:size ~n_exo:0
+  in
+  case ~name ~query_src:"R(?x,?y), T(?y,?z)" ~db
+
+let () =
+  List.iter register_family
+    [
+      { Family.name = "star";
+        description =
+          "hierarchical star join for R(x) ∧ S(x,y): one hub, size spokes \
+           (seeds > 0 demote some spokes to exogenous)";
+        tractability = `Fp; generate = star_family };
+      { Family.name = "bipartite";
+        description =
+          "complete-bipartite q_RST gadget, the classic hard-lineage \
+           family (seeds > 0 keep a random sub-grid)";
+        tractability = `Hard; generate = bipartite_family };
+      { Family.name = "rpq-road";
+        description =
+          "road-network RPQ (Road Rail* Road)(home, hub): a rail corridor \
+           of size stations with seeded bypasses and an exogenous ferry";
+        tractability = `Hard; generate = rpq_road_family };
+      { Family.name = "crpq";
+        description =
+          "CRPQ (AB+BA)(?x,t) over seeded random labelled graphs with \
+           exogenous edges";
+        tractability = `Hard; generate = crpq_family };
+      { Family.name = "cqneg";
+        description =
+          "CQ with negation R(x) ∧ S(x,y) ∧ ¬T(y) over seeded random \
+           partitioned databases";
+        tractability = `Hard; generate = cqneg_family };
+      { Family.name = "endogenous";
+        description =
+          "purely endogenous q_RST databases (the §6.1 SVCⁿ setting: no \
+           exogenous facts anywhere)";
+        tractability = `Hard; generate = endogenous_family };
+      { Family.name = "max-svc";
+        description =
+          "q_RST instances with a guaranteed singleton support (Lemma \
+           6.3): an exogenous R/T frame, one endogenous bridge, seeded \
+           noise — exercises max-SVC";
+        tractability = `Mixed; generate = max_svc_family };
+      { Family.name = "const-svc";
+        description =
+          "purely endogenous chain joins R(x,y) ∧ T(y,z) whose constants \
+           become the §6.4 players (SVC^const)";
+        tractability = `Hard; generate = const_svc_family };
+    ]
+
+let generate ~family ~seed ~size =
+  if seed < 0 then invalid_arg "Workload.generate: seed must be >= 0";
+  if size < 1 then invalid_arg "Workload.generate: size must be >= 1";
+  match find_family family with
+  | None ->
+    invalid_arg (Printf.sprintf "Workload.generate: unknown family %S" family)
+  | Some f -> f.Family.generate ~seed ~size

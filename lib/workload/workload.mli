@@ -121,3 +121,59 @@ val bibliography : n_authors:int -> n_papers:int -> seed:int -> Fact.Set.t
 val star_join : spokes:int -> Database.t
 (** Hierarchical instance for [R(x) ∧ S(x,y)]: one hub with [spokes]
     S-facts. *)
+
+(** {1 Generator registry}
+
+    A {e family} is a named, seeded, size-parameterized generator of
+    (query, database) cases spanning the paper's variant frontier: safe
+    CQs, the hard bipartite gadget, RPQ/CRPQ graphs, CQ¬, purely
+    endogenous databases, and the §6.3/§6.4 max-SVC / constant-SVC
+    settings.  Every generator is a pure function of [(seed, size)] —
+    a triple always reproduces a byte-identical workload text
+    serialization — and at [seed = 0] the [star] and [bipartite]
+    families coincide with the historical bench instances
+    ({!star_join}, complete {!rst_gadget}).
+
+    The registry feeds three consumers: the [svc workload] CLI
+    subcommand, the bench harness, and the universal cross-backend
+    conformance suite ([test/test_conformance.ml]), so every engine is
+    exercised on every family automatically. *)
+
+module Family : sig
+  type tractability = [ `Fp | `Hard | `Mixed ]
+  (** Expected complexity of exact SVC on the family's instances per the
+      paper's dichotomies ([`Mixed] when it depends on the variant
+      viewpoint, e.g. max-SVC's tractable maximum on a hard query). *)
+
+  val tractability_to_string : tractability -> string
+
+  type t = {
+    name : string;  (** unique registry key, e.g. ["star"] *)
+    description : string;  (** one line, shown by [svc workload list] *)
+    tractability : tractability;
+    generate : seed:int -> size:int -> case;
+  }
+end
+
+val register_family : Family.t -> unit
+(** @raise Invalid_argument on a duplicate or empty name. *)
+
+val families : unit -> Family.t list
+(** All registered families, in registration order; the eight built-ins
+    ([star], [bipartite], [rpq-road], [crpq], [cqneg], [endogenous],
+    [max-svc], [const-svc]) are registered at module initialization. *)
+
+val find_family : string -> Family.t option
+
+val generate : family:string -> seed:int -> size:int -> case
+(** Run a registered family's generator.
+    @raise Invalid_argument on an unknown family, [seed < 0] or
+    [size < 1]. *)
+
+val case_name : family:string -> seed:int -> size:int -> string
+(** The canonical case name ["FAMILY-sSEED-nSIZE"] used by the built-in
+    generators. *)
+
+val to_workload : case -> t
+(** A single-case workload named after the case — the unit [svc workload
+    gen] serializes with {!to_string}. *)

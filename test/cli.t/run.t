@@ -556,3 +556,73 @@ Calling analyze with nothing to analyze is an error:
   $ ../../bin/svc_cli.exe analyze
   svc analyze: nothing to analyze (give --query, --db and/or --workload)
   [2]
+
+The workload generator registry lists its families:
+
+  $ ../../bin/svc_cli.exe workload list
+  family      class     description
+  star        FP        hierarchical star join for R(x) ∧ S(x,y): one hub, size spokes (seeds > 0 demote some spokes to exogenous)
+  bipartite   #P-hard   complete-bipartite q_RST gadget, the classic hard-lineage family (seeds > 0 keep a random sub-grid)
+  rpq-road    #P-hard   road-network RPQ (Road Rail* Road)(home, hub): a rail corridor of size stations with seeded bypasses and an exogenous ferry
+  crpq        #P-hard   CRPQ (AB+BA)(?x,t) over seeded random labelled graphs with exogenous edges
+  cqneg       #P-hard   CQ with negation R(x) ∧ S(x,y) ∧ ¬T(y) over seeded random partitioned databases
+  endogenous  #P-hard   purely endogenous q_RST databases (the §6.1 SVCⁿ setting: no exogenous facts anywhere)
+  max-svc     mixed     q_RST instances with a guaranteed singleton support (Lemma 6.3): an exogenous R/T frame, one endogenous bridge, seeded noise — exercises max-SVC
+  const-svc   #P-hard   purely endogenous chain joins R(x,y) ∧ T(y,z) whose constants become the §6.4 players (SVC^const)
+
+  $ ../../bin/svc_cli.exe workload list --format names
+  star
+  bipartite
+  rpq-road
+  crpq
+  cqneg
+  endogenous
+  max-svc
+  const-svc
+
+Generated cases serialize in the workload text format, deterministically:
+
+  $ ../../bin/svc_cli.exe workload gen --family star --size 3 --seed 0
+  workload star-s0-n3
+  
+  case star-s0-n3
+  query R(?x), S(?x,?y)
+  endo R(hub)
+  endo S(hub,n0)
+  endo S(hub,n1)
+  endo S(hub,n2)
+
+  $ ../../bin/svc_cli.exe workload gen --family rpq-road --size 2 --seed 5 --format query
+  rpq: (Road Rail* Road)(home, hub)
+
+Generated workloads round-trip through analyze and eval:
+
+  $ ../../bin/svc_cli.exe workload gen --family bipartite --size 2 --seed 1 > bip.workload
+  $ ../../bin/svc_cli.exe analyze --workload bip.workload
+  warning[Q003]: case "bipartite-s1-n2": self-join-free CQ is not hierarchical: SVC is #P-hard (Corollary 4.5)
+      certificate: variables ?x/?y: S(?x,?y) covers both, R(?x) only ?x, T(?y) only ?y
+  
+  0 error(s), 1 warning(s), 0 hint(s)
+
+  $ ../../bin/svc_cli.exe workload gen --family cqneg --size 3 --seed 2 --format db > cqneg.db
+  $ ../../bin/svc_cli.exe workload gen --family cqneg --size 3 --seed 2 --format query
+  cqneg: R(?x), S(?x,?y), !T(?y)
+  $ ../../bin/svc_cli.exe eval cqneg.db "cqneg: R(?x), S(?x,?y), !T(?y)"
+  R(3)                           1/2  (≈ 0.5000)
+  S(3,4)                         1/2  (≈ 0.5000)
+  S(1,1)                         0  (≈ 0.0000)
+  sum: 1
+
+Bad inputs exit with code 2 and a clear message:
+
+  $ ../../bin/svc_cli.exe workload gen --family no-such --size 3
+  svc workload gen: unknown family "no-such" (try 'svc workload list')
+  [2]
+
+  $ ../../bin/svc_cli.exe workload gen --family star --size 0
+  svc workload gen: --size must be >= 1 (got 0)
+  [2]
+
+  $ ../../bin/svc_cli.exe workload gen --family star --size 3 --seed=-1
+  svc workload gen: --seed must be >= 0 (got -1)
+  [2]

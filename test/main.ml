@@ -39,4 +39,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("paper-lemmas", Test_paper_lemmas.suite);
       ("exhaustive", Test_exhaustive.suite);
+      ("conformance", Test_conformance.suite);
     ]

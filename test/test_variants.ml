@@ -251,6 +251,146 @@ let prop_prop63_random =
            (Const_svc.fgmc_const_polynomial_brute q inst)
        end)
 
+(* Max-SVC: exhaustive differential sweep over EVERY partitioned database
+   of a small q_RST universe — [max_svc] must agree with its own brute
+   force, with per-fact Eq. 2 enumeration, and with the game view
+   ([Game.of_query] + [shapley_all]); [top_contributors] must be exactly
+   the argmax set and Lemma 6.3 must hold on every instance. *)
+let test_max_svc_exhaustive () =
+  let universe =
+    [ fact "R" [ "1" ]; fact "S" [ "1"; "2" ]; fact "T" [ "2" ]; fact "T" [ "1" ] ]
+  in
+  Gen.iter_databases universe (fun db ->
+      let fail fmt =
+        Printf.ksprintf
+          (fun m -> Alcotest.failf "%s on %s" m (Format.asprintf "%a" Database.pp db))
+          fmt
+      in
+      (match (Max_svc.max_svc qrst db, Max_svc.max_svc_brute qrst db) with
+       | None, None ->
+         if Database.size_endo db <> 0 then fail "None on a nonempty database"
+       | Some (f, v), Some (_, vb) ->
+         if not (Rational.equal v vb) then fail "max_svc <> max_svc_brute";
+         (* the returned fact attains the reported maximum *)
+         if not (Rational.equal v (Svc.svc_brute qrst db f)) then
+           fail "returned fact does not attain the maximum";
+         (* game view: max over Game.shapley_all is the same value *)
+         let game, _ = Game.of_query qrst db in
+         let values = Game.shapley_all game in
+         let vmax = Array.fold_left
+             (fun acc x -> if Rational.lt acc x then x else acc)
+             values.(0) values
+         in
+         if not (Rational.equal v vmax) then fail "max_svc <> game maximum";
+         (* top_contributors = the argmax set, each at the maximum *)
+         let tops = Max_svc.top_contributors qrst db in
+         let argmax =
+           List.filter
+             (fun mu -> Rational.equal (Svc.svc_brute qrst db mu) v)
+             (Database.endo_list db)
+         in
+         if
+           not
+             (Fact.Set.equal
+                (Fact.Set.of_list (List.map fst tops))
+                (Fact.Set.of_list argmax))
+         then fail "top_contributors <> argmax set";
+         if not (List.for_all (fun (_, x) -> Rational.equal x v) tops) then
+           fail "top contributor below the maximum"
+       | _ -> fail "max_svc/max_svc_brute disagree on emptiness");
+      (* Lemma 6.3 on every instance of the monotone q_RST game *)
+      if not (Max_svc.singleton_support_is_max qrst db) then
+        fail "singleton support is not maximal")
+
+let prop_max_svc_random =
+  qcheck ~count:40 "max-SVC differential on random instances" Gen.seed_gen
+    (fun seed ->
+       let db = Gen.random_db ~max_endo:5 ~max_exo:2 seed in
+       match (Max_svc.max_svc qrst db, Max_svc.max_svc_brute qrst db) with
+       | None, None -> Database.size_endo db = 0
+       | Some (f, v), Some (_, vb) ->
+         Rational.equal v vb
+         && Rational.equal v (Svc.svc_brute qrst db f)
+         && Max_svc.singleton_support_is_max qrst db
+       | _ -> false)
+
+(* Const-SVC: the wealth function of the constants game, built here
+   independently from [Query.eval] over induced fact sets, must give
+   [Const_svc.svc_const] for every endogenous constant of every
+   endo/exo constant partition of a small database. *)
+let const_game q inst =
+  let cn = Array.of_list (Term.Sset.elements (Const_svc.endo_consts inst)) in
+  let coalition mask =
+    let s = ref Term.Sset.empty in
+    Array.iteri (fun i c -> if mask land (1 lsl i) <> 0 then s := Term.Sset.add c !s) cn;
+    !s
+  in
+  let baseline = Query.eval q (Const_svc.induced inst Term.Sset.empty) in
+  let wealth mask =
+    let holds = Query.eval q (Const_svc.induced inst (coalition mask)) in
+    match (holds, baseline) with
+    | true, false -> Rational.one
+    | false, true -> Rational.neg Rational.one
+    | _ -> Rational.zero
+  in
+  (Game.make ~n:(Array.length cn) ~wealth, cn)
+
+let test_const_svc_exhaustive () =
+  let q = Query_parse.parse "R(?x,?y), T(?y,?z)" in
+  let fs =
+    facts
+      [ fact "R" [ "1"; "2" ]; fact "T" [ "2"; "3" ]; fact "R" [ "4"; "2" ];
+        fact "T" [ "2"; "1" ] ]
+  in
+  let consts = Term.Sset.elements (Fact.Set.consts fs) in
+  let n = List.length consts in
+  for mask = 0 to (1 lsl n) - 1 do
+    let endo_consts =
+      List.fold_left
+        (fun acc (i, c) ->
+           if mask land (1 lsl i) <> 0 then Term.Sset.add c acc else acc)
+        Term.Sset.empty
+        (List.mapi (fun i c -> (i, c)) consts)
+    in
+    let inst = Const_svc.make_instance ~facts:fs ~endo_consts in
+    let game, cn = const_game q inst in
+    let values = Game.shapley_all game in
+    Array.iteri
+      (fun i c ->
+         if not (Rational.equal values.(i) (Const_svc.svc_const q inst c)) then
+           Alcotest.failf "svc_const <> game Shapley for %s on partition %d" c mask)
+      cn
+  done
+
+let prop_const_svc_random =
+  qcheck ~count:25 "const-SVC vs constants game on random graphs" Gen.seed_gen
+    (fun seed ->
+       let q = Query_parse.parse "R(?x,?y), T(?y,?z)" in
+       let r = Workload.rng seed in
+       let g =
+         Workload.random_graph r ~labels:[ "R"; "T" ] ~nodes:[ "1"; "2"; "3"; "4" ]
+           ~n_endo:(1 + Workload.int r 5) ~n_exo:0
+       in
+       let fs = Database.all g in
+       let consts = Fact.Set.consts fs in
+       let endo_consts =
+         Term.Sset.filter (fun _ -> Workload.bool r) consts
+       in
+       let inst = Const_svc.make_instance ~facts:fs ~endo_consts in
+       let game, cn = const_game q inst in
+       let values = Game.shapley_all game in
+       let ok = ref true in
+       Array.iteri
+         (fun i c ->
+            if not (Rational.equal values.(i) (Const_svc.svc_const q inst c)) then
+              ok := false)
+         cn;
+       List.for_all2
+         (fun (c1, v1) (c2, v2) -> c1 = c2 && Rational.equal v1 v2)
+         (Const_svc.svc_const_all q inst)
+         (Array.to_list (Array.mapi (fun i c -> (c, values.(i))) cn))
+       && !ok)
+
 let suite =
   [
     Alcotest.test_case "Lemma 6.1: 2^k calls" `Quick test_lemma61_call_count;
@@ -266,8 +406,14 @@ let suite =
     Alcotest.test_case "Prop 6.1: multi-component" `Quick test_prop61_multi_component;
     Alcotest.test_case "Prop 6.1: guards" `Quick test_prop61_guards;
     Alcotest.test_case "Lemma D.1: decomposable, purely endogenous" `Quick test_lemma_d1;
+    Alcotest.test_case "max-SVC: all databases vs brute force and game" `Slow
+      test_max_svc_exhaustive;
+    Alcotest.test_case "const-SVC: all partitions vs constants game" `Slow
+      test_const_svc_exhaustive;
     prop_lemma_d1_random;
     prop_lemma61_random;
     prop_prop62_random;
     prop_prop63_random;
+    prop_max_svc_random;
+    prop_const_svc_random;
   ]

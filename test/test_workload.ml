@@ -106,9 +106,87 @@ let test_workload_parse_errors () =
    | msg, 1 -> Alcotest.(check string) "missing query" "case \"a\" has no query line" msg
    | _, l -> Alcotest.failf "wrong line %d" l)
 
+let test_registry_families () =
+  let fams = Workload.families () in
+  Alcotest.(check bool) "at least six families" true (List.length fams >= 6);
+  let names = List.map (fun (f : Workload.Family.t) -> f.Workload.Family.name) fams in
+  Alcotest.(check int) "unique names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun n ->
+       Alcotest.(check bool) ("registered: " ^ n) true (List.mem n names))
+    [ "star"; "bipartite"; "rpq-road"; "crpq"; "cqneg"; "endogenous";
+      "max-svc"; "const-svc" ];
+  Alcotest.(check bool) "find_family hit" true
+    (Workload.find_family "star" <> None);
+  Alcotest.(check bool) "find_family miss" true
+    (Workload.find_family "no-such" = None)
+
+let test_registry_seed0_compat () =
+  (* seed 0 reproduces the historical bench instances exactly *)
+  let star = Workload.generate ~family:"star" ~seed:0 ~size:5 in
+  Alcotest.(check bool) "star seed 0 = star_join" true
+    (Database.equal star.Workload.db (Workload.star_join ~spokes:5));
+  let bip = Workload.generate ~family:"bipartite" ~seed:0 ~size:3 in
+  Alcotest.(check bool) "bipartite seed 0 = complete rst_gadget" true
+    (Database.equal bip.Workload.db
+       (Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false ()))
+
+let test_registry_validation () =
+  Alcotest.check_raises "negative seed"
+    (Invalid_argument "Workload.generate: seed must be >= 0") (fun () ->
+        ignore (Workload.generate ~family:"star" ~seed:(-1) ~size:3));
+  Alcotest.check_raises "non-positive size"
+    (Invalid_argument "Workload.generate: size must be >= 1") (fun () ->
+        ignore (Workload.generate ~family:"star" ~seed:0 ~size:0));
+  Alcotest.check_raises "unknown family"
+    (Invalid_argument "Workload.generate: unknown family \"no-such\"") (fun () ->
+        ignore (Workload.generate ~family:"no-such" ~seed:0 ~size:3))
+
+let test_registry_roundtrip () =
+  (* every family's serialized case parses back to the same database and
+     the generator is a pure function of (seed, size) *)
+  List.iter
+    (fun (f : Workload.Family.t) ->
+       let name = f.Workload.Family.name in
+       let c = Workload.generate ~family:name ~seed:3 ~size:2 in
+       let c' = Workload.generate ~family:name ~seed:3 ~size:2 in
+       Alcotest.(check bool) (name ^ " deterministic") true
+         (Database.equal c.Workload.db c'.Workload.db);
+       let w = Workload.parse (Workload.to_string (Workload.to_workload c)) in
+       match Workload.cases w with
+       | [ parsed ] ->
+         Alcotest.(check string) (name ^ " case name")
+           (Workload.case_name ~family:name ~seed:3 ~size:2)
+           parsed.Workload.cname;
+         Alcotest.(check bool) (name ^ " roundtrip db") true
+           (Database.equal c.Workload.db parsed.Workload.db)
+       | _ -> Alcotest.failf "%s: expected one case" name)
+    (Workload.families ())
+
+let test_register_family_guards () =
+  let dup : Workload.Family.t =
+    { name = "star"; description = "dup"; tractability = `Fp;
+      generate = (fun ~seed:_ ~size:_ -> Workload.generate ~family:"star" ~seed:0 ~size:1) }
+  in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Workload.register_family: duplicate family \"star\"")
+    (fun () -> Workload.register_family dup);
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Workload.register_family: empty family name")
+    (fun () -> Workload.register_family { dup with name = "" })
+
 let suite =
   [
     Alcotest.test_case "workload parsing" `Quick test_workload_parse;
+    Alcotest.test_case "registry families" `Quick test_registry_families;
+    Alcotest.test_case "registry seed-0 bench compatibility" `Quick
+      test_registry_seed0_compat;
+    Alcotest.test_case "registry validation" `Quick test_registry_validation;
+    Alcotest.test_case "registry roundtrip + determinism" `Quick
+      test_registry_roundtrip;
+    Alcotest.test_case "register_family guards" `Quick test_register_family_guards;
     Alcotest.test_case "workload parse errors" `Quick test_workload_parse_errors;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
