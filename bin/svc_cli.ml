@@ -674,6 +674,139 @@ let trace_cmd =
   let doc = "Inspect telemetry traces recorded by $(b,svc eval --trace)." in
   Cmd.group (Cmd.info "trace" ~doc) [ summary_cmd ]
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let db_args =
+    let doc =
+      "Preload a named database: $(docv) is NAME=FILE with FILE in the \
+       Db_text format.  Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "db" ] ~docv:"NAME=FILE" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Engine LRU cache capacity (entries)." in
+    Arg.(value & opt int Server.default_capacity
+         & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker domains per engine evaluation (0 = recommended)." in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Largest accepted frame payload, in bytes." in
+    Arg.(value & opt int Frame.default_max_len
+         & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Changes per database kept replayable for delta updates before a \
+       stale engine recompiles from scratch."
+    in
+    Arg.(value & opt int Server.default_journal_limit
+         & info [ "journal-limit" ] ~docv:"N" ~doc)
+  in
+  let fake_clock_arg =
+    let doc =
+      "Run telemetry on a deterministic fake clock advanced by 1ms per \
+       frame — byte-exact transcripts and traces for tests."
+    in
+    Arg.(value & flag & info [ "fake-clock" ] ~doc)
+  in
+  let run dbs capacity jobs max_frame journal fake_clock =
+    let tel, on_frame =
+      if fake_clock then begin
+        let clock, advance = Telemetry.Clock.fake () in
+        (Telemetry.create ~clock (), fun () -> advance 0.001)
+      end
+      else (Telemetry.create (), Fun.id)
+    in
+    let server =
+      try
+        Server.create ~tel ~capacity ~max_frame ~journal_limit:journal ~jobs ()
+      with Invalid_argument msg ->
+        Printf.eprintf "svc serve: %s\n" msg;
+        exit 2
+    in
+    List.iter
+      (fun spec ->
+         match String.index_opt spec '=' with
+         | None ->
+           Printf.eprintf "svc serve: --db expects NAME=FILE, got %S\n" spec;
+           exit 2
+         | Some i ->
+           let name = String.sub spec 0 i in
+           let path =
+             String.sub spec (i + 1) (String.length spec - i - 1)
+           in
+           let text =
+             try
+               let ic = open_in_bin path in
+               Fun.protect
+                 ~finally:(fun () -> close_in_noerr ic)
+                 (fun () -> really_input_string ic (in_channel_length ic))
+             with Sys_error msg ->
+               Printf.eprintf "svc serve: %s\n" msg;
+               exit 2
+           in
+           (try Server.load_db server ~name ~text
+            with Invalid_argument msg ->
+              Printf.eprintf "svc serve: %s: %s\n" path msg;
+              exit 2))
+      dbs;
+    Server.serve_channels ~on_frame server stdin stdout
+  in
+  let doc =
+    "Serve SVC over length-prefixed JSON frames on stdin/stdout: a hot \
+     per-(query,db) compilation cache with LRU eviction and delta \
+     updates (insert/delete facts recompile only the affected \
+     sub-circuit).  Drive it with $(b,svc client encode)/$(b,decode); \
+     see README.md for the protocol reference."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ db_args $ capacity_arg $ jobs_arg $ max_frame_arg
+          $ journal_arg $ fake_clock_arg)
+
+let client_cmd =
+  let encode_cmd =
+    let payload_args =
+      let doc = "JSON request payloads, one frame each, in order." in
+      Arg.(value & pos_all string [] & info [] ~docv:"JSON" ~doc)
+    in
+    let run payloads =
+      List.iter (fun p -> print_string (Frame.encode p)) payloads
+    in
+    let doc =
+      "Encode JSON payloads as protocol frames on stdout (pipe into \
+       $(b,svc serve))."
+    in
+    Cmd.v (Cmd.info "encode" ~doc) Term.(const run $ payload_args)
+  in
+  let decode_cmd =
+    let run () =
+      let src = Frame.source_of_channel stdin in
+      let rec loop () =
+        match Frame.read src with
+        | Ok None -> ()
+        | Ok (Some payload) ->
+          print_string payload;
+          print_newline ();
+          loop ()
+        | Error e ->
+          Printf.eprintf "svc client decode: %s\n" (Frame.error_message e);
+          exit 1
+      in
+      loop ()
+    in
+    let doc =
+      "Decode protocol frames from stdin to one JSON payload per line \
+       (pipe $(b,svc serve) output through this)."
+    in
+    Cmd.v (Cmd.info "decode" ~doc) Term.(const run $ const ())
+  in
+  let doc = "Encode/decode the $(b,svc serve) frame protocol." in
+  Cmd.group (Cmd.info "client" ~doc) [ encode_cmd; decode_cmd ]
+
 let main =
   let doc =
     "Shapley value computation and model counting for database queries \
@@ -682,6 +815,6 @@ let main =
   Cmd.group (Cmd.info "svc" ~version:"1.0.0" ~doc)
     [ shapley_cmd; eval_cmd; plan_cmd; count_cmd; prob_cmd; classify_cmd;
       reduce_cmd; max_cmd; banzhaf_cmd; lineage_cmd; explain_cmd; analyze_cmd;
-      workload_cmd; trace_cmd ]
+      workload_cmd; trace_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

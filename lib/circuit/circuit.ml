@@ -64,7 +64,25 @@ type t = {
   drops : Telemetry.Counter.t;
   mutable n_nodes : int; (* reachable from root, frozen at compile *)
   mutable n_edges : int;
+  mutable reused : int; (* reachable nodes inherited from the session *)
 }
+
+(* A session persists the arena + hash-cons table + formula cache across
+   compiles.  Soundness rests on the arena being append-only: a compiled
+   circuit only ever reads ids [< len]-at-its-compile, growth copies the
+   prefix into the fresh arrays, and later compiles only append — so an
+   old [t] stays valid forever, and a new compile silently reuses every
+   hash-consed sub-circuit the cached formulas or structural hashing
+   reach.  The formula→node cache is sound across compiles because the
+   node built for a formula always covers exactly its variables,
+   independently of which plan steered the build. *)
+module Session = struct
+  type circuit = t
+
+  type t = { mutable prev : circuit option; cache : int Fcache.t }
+
+  let create () = { prev = None; cache = Fcache.create 256 }
+end
 
 let true_id = 0
 let false_id = 1
@@ -269,8 +287,10 @@ let build_root c rank plan cache phi =
   | _ -> build c rank cache phi
 
 (* Sub-circuits built for components that a later ⊥ collapsed can be
-   unreachable from the root; size metrics report the live circuit. *)
-let count_reachable c =
+   unreachable from the root; size metrics report the live circuit.
+   [base_len] is the arena length before this compile: reachable ids
+   below it were inherited from the session, not built. *)
+let count_reachable c ~base_len =
   let reach = Array.make c.len false in
   let rec mark id =
     if not reach.(id) then begin
@@ -281,20 +301,21 @@ let count_reachable c =
     end
   in
   mark c.root;
-  let nodes = ref 0 and edges = ref 0 in
+  let nodes = ref 0 and edges = ref 0 and reused = ref 0 in
   Array.iteri
     (fun id live ->
        if live then begin
          incr nodes;
+         if id < base_len then incr reused;
          match c.nodes.(id) with
          | NAnd ch | NOr ch -> edges := !edges + Array.length ch
          | _ -> ()
        end)
     reach;
-  (!nodes, !edges)
+  (!nodes, !edges, !reused)
 
 let compile ?(tel = Telemetry.disabled ()) ?plan ?(cache_capacity = max_int)
-    phi =
+    ?session phi =
   if cache_capacity < 0 then invalid_arg "Circuit.compile: negative capacity";
   (* rank = position in the plan's branch order (first = decided first);
      duplicate mentions keep their earliest rank *)
@@ -313,38 +334,70 @@ let compile ?(tel = Telemetry.disabled ()) ?plan ?(cache_capacity = max_int)
   let hits = Telemetry.counter tel "circuit.cache_hits" in
   let misses = Telemetry.counter tel "circuit.cache_misses" in
   let drops = Telemetry.counter tel "circuit.cache_drops" in
+  let base = match session with Some s -> s.Session.prev | None -> None in
   let c =
-    {
-      nodes = Array.make 64 NTrue;
-      varsets = Array.make 64 Fact.Set.empty;
-      len = 0;
-      unique = Unique.create 256;
-      root = 0;
-      capacity = cache_capacity;
-      smoothing = 0;
-      hits;
-      misses;
-      drops;
-      n_nodes = 0;
-      n_edges = 0;
-    }
+    match base with
+    | Some p ->
+      (* share the arena and hash-cons table; per-compile state resets *)
+      {
+        p with
+        root = 0;
+        capacity = cache_capacity;
+        smoothing = 0;
+        hits;
+        misses;
+        drops;
+        n_nodes = 0;
+        n_edges = 0;
+        reused = 0;
+      }
+    | None ->
+      {
+        nodes = Array.make 64 NTrue;
+        varsets = Array.make 64 Fact.Set.empty;
+        len = 0;
+        unique = Unique.create 256;
+        root = 0;
+        capacity = cache_capacity;
+        smoothing = 0;
+        hits;
+        misses;
+        drops;
+        n_nodes = 0;
+        n_edges = 0;
+        reused = 0;
+      }
+  in
+  let base_len = c.len in
+  let cache =
+    match session with Some s -> s.Session.cache | None -> Fcache.create 256
   in
   Telemetry.span tel "circuit.compile" (fun () ->
       ignore (alloc c NTrue Fact.Set.empty : int); (* id 0 *)
       ignore (alloc c NFalse Fact.Set.empty : int); (* id 1 *)
-      c.root <- build_root c rank plan (Fcache.create 256) phi);
-  let nodes, edges = count_reachable c in
+      c.root <- build_root c rank plan cache phi);
+  let nodes, edges, reused = count_reachable c ~base_len in
   c.n_nodes <- nodes;
   c.n_edges <- edges;
+  c.reused <- reused;
+  (match session with Some s -> s.Session.prev <- Some c | None -> ());
   Telemetry.Gauge.set (Telemetry.gauge tel "circuit.nodes") nodes;
   Telemetry.Gauge.set (Telemetry.gauge tel "circuit.edges") edges;
   Telemetry.Gauge.set (Telemetry.gauge tel "circuit.smoothing") c.smoothing;
+  (* only session compiles have a reuse story; keeping the gauge out of
+     sessionless runs keeps their exporter output unchanged *)
+  (match session with
+   | Some _ -> Telemetry.Gauge.set (Telemetry.gauge tel "circuit.reused_nodes") reused
+   | None -> ());
   c
+
+let session_adopt s c = s.Session.prev <- Some c
 
 let vars c = c.varsets.(c.root)
 let node_count c = c.n_nodes
 let edge_count c = c.n_edges
 let smoothing_nodes c = c.smoothing
+let reused_nodes c = c.reused
 let cache_hits c = Telemetry.Counter.value c.hits
 let cache_misses c = Telemetry.Counter.value c.misses
 let cache_drops c = Telemetry.Counter.value c.drops
@@ -580,9 +633,12 @@ let evaluate ?(tel = Telemetry.disabled ()) c ~universe =
               (* g counts over cvars∖{f}; pad the (n-1) - (nv-1) facts of
                  the universe the circuit never mentions *)
               let base =
+                (* the shared hash-cons table of a session can hold
+                   literals allocated by *later* compiles; only ids
+                   below this circuit's frozen length belong to it *)
                 match Unique.find_opt c.unique (NLit (f, true)) with
-                | Some id -> g.(id)
-                | None -> Poly.Z.zero
+                | Some id when id < c.len -> g.(id)
+                | Some _ | None -> Poly.Z.zero
               in
               (f, pad (n - nv) base)
             else

@@ -51,8 +51,33 @@ type t
 (** A compiled circuit for one formula.  Immutable once compiled; the
     instrumentation counters are frozen at compile time. *)
 
+(** A compilation session: the node arena, the structural hash-cons
+    table and the formula→node cache, persisted across compiles.
+    Compiling several (versions of) lineages through one session makes
+    every structurally identical sub-circuit — every conditioned
+    sub-formula untouched by a delta update — come back as the {e same}
+    arena node instead of being rebuilt: the subtree-reuse substrate of
+    {!Engine.update} and the serving cache.
+
+    Sound by construction: the arena is append-only (a compiled
+    circuit's id range is frozen at compile time and never mutated), and
+    the cached formula→node bindings are plan- and database-independent
+    — the node built for a formula always represents exactly that
+    formula over exactly its variables.  Sessions are single-domain;
+    share one session per serving thread, like {!Compile.Memo}. *)
+module Session : sig
+  type t
+
+  val create : unit -> t
+end
+
 val compile :
-  ?tel:Telemetry.t -> ?plan:Plan.t -> ?cache_capacity:int -> Bform.t -> t
+  ?tel:Telemetry.t ->
+  ?plan:Plan.t ->
+  ?cache_capacity:int ->
+  ?session:Session.t ->
+  Bform.t ->
+  t
 (** Compile a lineage formula.  [cache_capacity] bounds the number of
     formula→node memo entries (default unbounded; the bound affects
     compile time, never the result).
@@ -68,13 +93,22 @@ val compile :
     steering for the affected sub-build; the circuit invariants come
     from construction, never from the plan.
 
+    [session] compiles into a shared {!Session} arena instead of a fresh
+    one: hash-consing then resolves every sub-circuit already built by
+    an earlier compile of the session to its existing node, and the
+    formula→node cache warm-starts from all previous compiles.  The
+    number of inherited nodes reachable from the new root is
+    {!reused_nodes}.  Circuits compiled earlier in the session remain
+    valid and unchanged.
+
     [tel] hosts the circuit's instrumentation: the whole build runs in a
     [circuit.compile] span, the memo counters live in the registry as
     [circuit.cache_hits]/[circuit.cache_misses]/[circuit.cache_drops],
     and the live size lands in the [circuit.nodes]/[circuit.edges]/
-    [circuit.smoothing] gauges.  The default is a private disabled
-    tracer, so the per-circuit accessors below are unshared; compiling
-    twice against the {e same} [tel] accumulates into shared counters.
+    [circuit.smoothing]/[circuit.reused_nodes] gauges.  The default is a
+    private disabled tracer, so the per-circuit accessors below are
+    unshared; compiling twice against the {e same} [tel] accumulates
+    into shared counters.
     @raise Invalid_argument on negative capacity. *)
 
 val vars : t -> Fact.Set.t
@@ -87,6 +121,18 @@ val edge_count : t -> int
 val smoothing_nodes : t -> int
 (** Nodes allocated by smoothing alone — the structural overhead paid so
     the one-pass evaluator can read all facts off the circuit. *)
+
+val reused_nodes : t -> int
+(** Of the nodes reachable from this circuit's root, how many were
+    inherited from earlier compiles of the same {!Session} rather than
+    built — 0 for a sessionless compile.  The delta-update payoff
+    metric. *)
+
+val session_adopt : Session.t -> t -> unit
+(** Retroactively seed a session with a circuit compiled {e outside} any
+    session: the next [compile ~session] continues in that circuit's
+    arena and reuses its hash-consed nodes.  Used by {!Engine.update} to
+    upgrade an engine whose first compile was sessionless. *)
 
 val cache_hits : t -> int
 val cache_misses : t -> int

@@ -38,10 +38,14 @@ type t = {
   n : int;
   jobs : int;
   cache_capacity : int;
+  requested : backend; (* as asked — re-resolved after a delta update *)
   backend : [ `Conditioning | `Circuit | `Sample of Sample.config ];
   (* resolved *)
   auto_selected : bool; (* resolution picked `Circuit without being asked *)
   plan : Plan.t option; (* the compilation plan that steered resolution *)
+  session : Circuit.Session.t option;
+  (* shared compilation arena across delta updates; [None] until the
+     first [update] (so one-shot engines keep their exporter output) *)
   phi : Bform.t;
   memo : Compile.Memo.t;
   factorials : Bigint.t array; (* 0! .. n! *)
@@ -74,13 +78,8 @@ let default_cache_capacity = 1 lsl 20
    parallel conditioning wins. *)
 let circuit_threshold = 24
 
-let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capacity)
-    ?(jobs = 1) ?(backend = `Auto) query db =
-  let jobs =
-    if jobs < 0 then invalid_arg "Engine.create: jobs must be >= 0"
-    else if jobs = 0 then Pool.recommended_domains ()
-    else jobs
-  in
+let make ~tel ~cache_capacity ~jobs ~requested ~memo ~session ~prev_plan query
+    db =
   (* registered here, in this order: record-field evaluation order is
      unspecified, and the registry's registration order is user-visible
      in exporter output *)
@@ -95,15 +94,22 @@ let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capac
   (* The plan is computed exactly when something will read it: to steer
      an explicit circuit compilation, or to resolve a serial `Auto.  A
      parallel `Auto never plans, so jobs > 1 runs are span-for-span
-     identical to the pre-planner engine. *)
+     identical to the pre-planner engine.  After a delta update the
+     previous plan seeds a component-local replan instead of a fresh
+     analysis. *)
+  let analyze () =
+    match prev_plan with
+    | Some previous -> fst (Plan.replan ~tel ~previous phi)
+    | None -> Plan.analyze ~tel phi
+  in
   let plan =
-    match backend with
-    | `Circuit -> Some (Plan.analyze ~tel phi)
-    | `Auto when jobs = 1 -> Some (Plan.analyze ~tel phi)
+    match requested with
+    | `Circuit -> Some (analyze ())
+    | `Auto when jobs = 1 -> Some (analyze ())
     | `Auto | `AutoLegacy | `Conditioning | `Sample _ -> None
   in
   let resolved, auto_selected =
-    match backend with
+    match requested with
     | `Conditioning -> (`Conditioning, false)
     | `Circuit -> (`Circuit, false)
     (* never auto-selected: an approximate answer must be asked for *)
@@ -124,11 +130,16 @@ let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capac
     n;
     jobs;
     cache_capacity;
+    requested;
     backend = resolved;
     auto_selected;
     plan;
+    session;
     phi;
-    memo = Compile.Memo.create ~capacity:cache_capacity ();
+    memo =
+      (match memo with
+       | Some m -> m
+       | None -> Compile.Memo.create ~capacity:cache_capacity ());
     factorials = Bigint.factorial_table n;
     tel;
     compilations;
@@ -145,13 +156,69 @@ let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capac
     sample_banzhaf = None;
   }
 
+let create ?(tel = Telemetry.disabled ()) ?(cache_capacity = default_cache_capacity)
+    ?(jobs = 1) ?(backend = `Auto) query db =
+  let jobs =
+    if jobs < 0 then invalid_arg "Engine.create: jobs must be >= 0"
+    else if jobs = 0 then Pool.recommended_domains ()
+    else jobs
+  in
+  make ~tel ~cache_capacity ~jobs ~requested:backend ~memo:None ~session:None
+    ~prev_plan:None query db
+
+type change = [ `Insert of [ `Endo | `Exo ] * Fact.t | `Delete of Fact.t ]
+
+(* A delta update recompiles the lineage (cheap — the quadratic work is
+   downstream) but carries over every reusable artifact: the shared memo
+   (sound across formulas — a cached polynomial counts over exactly its
+   formula's variables), the circuit session (hash-consed sub-circuits
+   untouched by the change come back as the same nodes), and the plan
+   (components the change did not touch replay their elimination
+   orders).  The per-answer caches (full polynomial, circuit evaluation,
+   sample reports) are invalidated wholesale by building a fresh [t]. *)
+let update t change =
+  Telemetry.span t.tel "engine.update" @@ fun () ->
+  Telemetry.Counter.incr (Telemetry.counter t.tel "engine.updates");
+  let db =
+    match change with
+    | `Insert (part, f) ->
+      if Database.mem f t.db then
+        invalid_arg "Engine.update: inserted fact is already present";
+      (match part with
+       | `Endo -> Database.add_endo f t.db
+       | `Exo -> Database.add_exo f t.db)
+    | `Delete f ->
+      if not (Database.mem f t.db) then
+        invalid_arg "Engine.update: deleted fact is not present";
+      Database.remove f t.db
+  in
+  let session =
+    match t.session with
+    | Some s -> s
+    | None ->
+      let s = Circuit.Session.create () in
+      (* a circuit compiled before the first update joins the arena so
+         the very next compile already reuses its nodes *)
+      (match t.circuit with
+       | Some c -> Circuit.session_adopt s c
+       | None -> ());
+      s
+  in
+  make ~tel:t.tel ~cache_capacity:t.cache_capacity ~jobs:t.jobs
+    ~requested:t.requested ~memo:(Some t.memo) ~session:(Some session)
+    ~prev_plan:t.plan t.query db
+
 let query t = t.query
 let database t = t.db
 let lineage t = t.phi
 let jobs t = t.jobs
 let backend t = t.backend
+let requested_backend t = t.requested
 let auto_selected t = t.auto_selected
 let plan t = t.plan
+
+let circuit_reused_nodes t =
+  match t.circuit with Some c -> Circuit.reused_nodes c | None -> 0
 
 (* The Claim A.1 arithmetic with the factorials shared across terms:
    Sh(μ) = Σ_j j!(n-j-1)!/n! · (FGMC_j(Dₙ∖μ, Dₓ∪μ) - FGMC_j(Dₙ∖μ, Dₓ)). *)
@@ -189,7 +256,7 @@ let circuit_of t =
     let t0 = now () in
     let c =
       Circuit.compile ~tel:t.tel ?plan:t.plan ~cache_capacity:t.cache_capacity
-        t.phi
+        ?session:t.session t.phi
     in
     t.circuit_compile_s <- t.circuit_compile_s +. (now () -. t0);
     t.circuit <- Some c;

@@ -102,8 +102,49 @@ val create :
     {!Circuit}'s [circuit.*] spans, counters and gauges.
     @raise Invalid_argument if [jobs < 0]. *)
 
+type change = [ `Insert of [ `Endo | `Exo ] * Fact.t | `Delete of Fact.t ]
+(** A single-fact delta against the engine's database: insert a fresh
+    fact into the endogenous or exogenous part, or delete a present
+    fact from whichever part holds it. *)
+
+val update : t -> change -> t
+(** Incremental recompilation after a delta.  Returns a {e new} engine
+    over the changed database whose answers are rationally equal to
+    [create]-ing from scratch — the differential identity the test
+    suite pins — but which reuses everything the change does not
+    invalidate:
+
+    - the shared {!Compile.Memo} (sound across formulas: a cached
+      polynomial counts over exactly its formula's variables);
+    - the circuit compilation session, so a later circuit compile
+      resolves every hash-consed sub-circuit untouched by the change to
+      its existing arena node ({!Circuit.reused_nodes});
+    - the compilation plan, replayed component-locally through
+      {!Plan.replan} — only components the change touched are
+      re-ordered.
+
+    The original engine stays fully usable (its answers still describe
+    the old database).  Per-answer caches (full polynomial, circuit
+    evaluation, sample reports) start cold in the new engine; the
+    backend is re-resolved from the originally requested one, so an
+    [`Auto] engine may flip strategy as the instance grows or shrinks.
+    Runs in an [engine.update] span and bumps the [engine.updates]
+    counter (registered on first use).
+    @raise Invalid_argument on inserting a present fact or deleting an
+    absent one. *)
+
 val backend : t -> [ `Conditioning | `Circuit | `Sample of Sample.config ]
 (** The resolved backend. *)
+
+val requested_backend : t -> backend
+(** The backend as originally asked of {!create} (what {!update}
+    re-resolves). *)
+
+val circuit_reused_nodes : t -> int
+(** {!Circuit.reused_nodes} of the engine's compiled circuit: nodes
+    inherited from pre-update compiles through the shared session.  [0]
+    if no circuit was compiled or the engine never went through
+    {!update}. *)
 
 val sample_report : t -> Sample.report option
 (** The cached report of the last sampled batched run ([None] unless the

@@ -298,6 +298,106 @@ let analyze ?(tel = Telemetry.disabled ()) ?(heuristic = Best) phi =
   { n_vars; components; max_width; predicted_nodes; requested = heuristic }
 
 (* ------------------------------------------------------------------ *)
+(* Component-local replan                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Components partition the variables, so a component is identified by
+   its variable set; the canonical string key below is injective on
+   sorted fact lists. *)
+let component_key vs =
+  String.concat "\x00" (List.map Fact.to_string (Fact.Set.elements vs))
+
+(* Replay a previously derived elimination order on the *new* graph: the
+   width we report is the induced width on the actual co-occurrence
+   structure, never the stale claim, so a replayed component still
+   passes [Plancheck].  Falls back to the fresh heuristic whenever the
+   replayed order stopped being a permutation of the component or its
+   width degraded past the previous claim. *)
+let replay_component ~heuristic prev vars_arr clique_list =
+  let index : (Fact.t, int) Hashtbl.t =
+    Hashtbl.create (2 * Array.length vars_arr + 1)
+  in
+  Array.iteri (fun i f -> Hashtbl.replace index f i) vars_arr;
+  let order_idx =
+    List.filter_map (fun f -> Hashtbl.find_opt index f) prev.order
+  in
+  if List.length order_idx <> Array.length vars_arr then
+    order_component ~heuristic vars_arr clique_list
+  else begin
+    let adj = graph_of vars_arr clique_list in
+    let remaining = ref order_idx in
+    let pick _alive _adj =
+      match !remaining with
+      | v :: rest ->
+        remaining := rest;
+        v
+      | [] -> invalid_arg "Plan.replay_component: order exhausted"
+    in
+    let o, w, nb = eliminate ~pick adj in
+    if w > prev.width then order_component ~heuristic vars_arr clique_list
+    else
+      let branch = branch_of_elimination o nb in
+      {
+        cvars = Array.to_list vars_arr;
+        order = List.map (fun i -> vars_arr.(i)) o;
+        branch = List.map (fun i -> vars_arr.(i)) branch;
+        width = w;
+        picked = prev.picked;
+      }
+  end
+
+let replan ?(tel = Telemetry.disabled ()) ?(heuristic = Best) ~previous phi =
+  Telemetry.span tel "plan.replan" @@ fun () ->
+  let blocks =
+    List.sort
+      (fun (_, v1) (_, v2) ->
+         Fact.compare (Fact.Set.min_elt v1) (Fact.Set.min_elt v2))
+      (blocks phi)
+  in
+  let prev_by_key : (string, component) Hashtbl.t =
+    Hashtbl.create (2 * List.length previous.components + 1)
+  in
+  List.iter
+    (fun c ->
+       Hashtbl.replace prev_by_key
+         (component_key (Fact.Set.of_list c.cvars))
+         c)
+    previous.components;
+  let reused = ref 0 in
+  let components =
+    List.map
+      (fun (parts, vs) ->
+         let vars_arr = Array.of_list (Fact.Set.elements vs) in
+         let cls = List.concat_map (fun p -> cliques p) parts in
+         match Hashtbl.find_opt prev_by_key (component_key vs) with
+         | Some prev ->
+           let c = replay_component ~heuristic prev vars_arr cls in
+           (* only count it reused if the replay survived the width check *)
+           if c.picked = prev.picked && c.order = prev.order then incr reused;
+           c
+         | None -> order_component ~heuristic vars_arr cls)
+      blocks
+  in
+  let n_vars =
+    List.fold_left (fun acc c -> acc + List.length c.cvars) 0 components
+  in
+  let max_width = List.fold_left (fun acc c -> max acc c.width) 0 components in
+  let predicted_nodes =
+    List.fold_left
+      (fun acc c ->
+         saturating_add acc
+           (predicted_of_component (List.length c.cvars) c.width))
+      0 components
+  in
+  Telemetry.Gauge.set
+    (Telemetry.gauge tel "plan.components")
+    (List.length components);
+  Telemetry.Gauge.set (Telemetry.gauge tel "plan.max_width") max_width;
+  Telemetry.Gauge.set (Telemetry.gauge tel "plan.reused_components") !reused;
+  ( { n_vars; components; max_width; predicted_nodes; requested = heuristic },
+    !reused )
+
+(* ------------------------------------------------------------------ *)
 (* Derived views                                                       *)
 (* ------------------------------------------------------------------ *)
 

@@ -101,6 +101,27 @@ val analyze : ?tel:Telemetry.t -> ?heuristic:heuristic -> Bform.t -> t
     "order time" of the plan), and sets the [plan.components] and
     [plan.max_width] gauges. *)
 
+val replan :
+  ?tel:Telemetry.t -> ?heuristic:heuristic -> previous:t -> Bform.t -> t * int
+(** Component-local replan after a delta update.  Re-derives the
+    AND-component partition of the new formula, then for every component
+    whose variable set matches a component of [previous] {e replays} the
+    previous elimination order on the new co-occurrence graph instead of
+    re-running the greedy heuristic.  The reported width is always the
+    induced width of the replayed order on the {e actual} graph — never
+    the stale claim — so a replanned certificate still passes
+    {!Plancheck.check} unchanged.  If the replayed width exceeds the
+    previous claim (the component's structure changed under it, e.g. by
+    a fact flipping between exogenous truth values), that component
+    falls back to the fresh heuristic.  Components with no variable-set
+    match (the ones an insert/delete actually touched) are ordered from
+    scratch.
+
+    Returns the new plan and the number of components whose previous
+    order was reused verbatim.  With [tel], runs in a [plan.replan] span
+    and sets the [plan.reused_components] gauge (plus the same
+    [plan.components]/[plan.max_width] gauges as {!analyze}). *)
+
 val branch_order : t -> Fact.t list
 (** The decision order the compiler should follow: each component's
     [branch] (pseudo-tree preorder), components concatenated in their

@@ -1,0 +1,105 @@
+(* Length-prefixed JSON frames.
+
+   Wire form: the payload byte length in ASCII decimal (1–8 digits),
+   one '\n', the payload bytes, one '\n'.  Both newlines are framing,
+   not payload.  The textual prefix keeps sessions composable from a
+   shell (`svc client encode`) and transcripts human-readable, while
+   the explicit length makes truncation detectable — a bare
+   line-delimited protocol cannot tell a short read from a short
+   message.
+
+   Error taxonomy, by whether the reader still knows where the next
+   frame starts:
+
+   - [Oversized]: the declared length exceeds the limit.  The payload
+     bytes are read and discarded, so framing survives — recoverable.
+   - [Malformed]: the length prefix is not 1–8 digits followed by '\n',
+     or the byte after the payload is not '\n'.  The stream position is
+     no longer trustworthy — fatal.
+   - [Truncated]: EOF inside a frame — fatal by nature. *)
+
+type error =
+  | Malformed of string
+  | Oversized of int
+  | Truncated of string
+
+let error_message = function
+  | Malformed m -> m
+  | Oversized n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+  | Truncated m -> m
+
+type source = unit -> char option
+
+let source_of_string s =
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= String.length s then None
+    else begin
+      let c = s.[!pos] in
+      incr pos;
+      Some c
+    end
+
+let source_of_channel ic = fun () -> In_channel.input_char ic
+
+let max_digits = 8
+let default_max_len = 1 lsl 20
+
+let encode payload =
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+(* None = clean EOF at a frame boundary (normal end of session). *)
+let read ?(max_len = default_max_len) (src : source) =
+  match src () with
+  | None -> Ok None
+  | Some c0 ->
+    let rec prefix acc ndigits c =
+      match c with
+      | '\n' when ndigits > 0 -> Ok acc
+      | '0' .. '9' ->
+        if ndigits >= max_digits then
+          Error (Malformed "frame length prefix has too many digits")
+        else begin
+          let acc = (acc * 10) + (Char.code c - Char.code '0') in
+          match src () with
+          | Some c -> prefix acc (ndigits + 1) c
+          | None -> Error (Truncated "eof inside frame length prefix")
+        end
+      | _ -> Error (Malformed "frame length prefix is not a decimal line")
+    in
+    (match prefix 0 0 c0 with
+     | Error _ as e -> e
+     | Ok len ->
+       if len > max_len then begin
+         (* drain the declared payload + trailing newline so the next
+            frame still starts at a known position *)
+         let rec drain k =
+           if k = 0 then true
+           else match src () with None -> false | Some _ -> drain (k - 1)
+         in
+         if drain (len + 1) then Error (Oversized len)
+         else Error (Truncated "eof inside oversized frame payload")
+       end
+       else begin
+         let buf = Bytes.create len in
+         let rec fill i =
+           if i = len then Ok ()
+           else
+             match src () with
+             | Some c ->
+               Bytes.set buf i c;
+               fill (i + 1)
+             | None -> Error (Truncated "eof inside frame payload")
+         in
+         match fill 0 with
+         | Error _ as e -> e
+         | Ok () ->
+           (match src () with
+            | Some '\n' -> Ok (Some (Bytes.to_string buf))
+            | Some _ -> Error (Malformed "frame payload not terminated by newline")
+            | None -> Error (Truncated "eof at frame terminator"))
+       end)
+
+let recoverable = function
+  | Oversized _ -> true
+  | Malformed _ | Truncated _ -> false

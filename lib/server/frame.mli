@@ -1,0 +1,40 @@
+(** Length-prefixed frames for the serving protocol.
+
+    Wire form of one frame: the payload's byte length in ASCII decimal
+    (1–8 digits), a newline, the payload, a newline.  The textual
+    prefix keeps sessions composable from a shell and transcripts
+    readable; the explicit length makes truncation detectable, which a
+    bare line protocol cannot do. *)
+
+type error =
+  | Malformed of string
+      (** the length prefix is not a 1–8 digit decimal line, or the
+          byte after the payload is not a newline; stream position is
+          lost — fatal *)
+  | Oversized of int
+      (** declared length exceeds the reader's limit; the payload was
+          drained, framing survives — recoverable *)
+  | Truncated of string  (** EOF inside a frame — fatal *)
+
+val error_message : error -> string
+
+val recoverable : error -> bool
+(** Whether the reader still knows where the next frame starts (only
+    for {!Oversized}). *)
+
+type source = unit -> char option
+(** A byte source; [None] is EOF.  Keeps the reader transport-agnostic
+    so tests drive it from strings, no sockets or pipes required. *)
+
+val source_of_string : string -> source
+val source_of_channel : in_channel -> source
+
+val default_max_len : int
+(** Default payload limit, [2{^20}] bytes. *)
+
+val encode : string -> string
+(** The wire form of one frame around the payload. *)
+
+val read : ?max_len:int -> source -> (string option, error) result
+(** Read one frame.  [Ok None] is clean EOF at a frame boundary (the
+    normal end of a session); [Ok (Some payload)] one decoded frame. *)

@@ -9,6 +9,16 @@
 
 let seed_gen = QCheck2.Gen.int_range 0 1_000_000
 
+(* Canonical benchmark instances, sourced from the [Workload.Family]
+   registry rather than private copies: seed 0 is pinned bit-compatible
+   with the historical constructors ([Workload.star_join],
+   complete [Workload.rst_gadget]) by test_workload.ml, so every qcheck
+   case that draws these sees exactly the instances it always did. *)
+let star ~spokes = (Workload.generate ~family:"star" ~seed:0 ~size:spokes).Workload.db
+
+let bipartite ~rows =
+  (Workload.generate ~family:"bipartite" ~seed:0 ~size:rows).Workload.db
+
 (* A small relational schema exercised by most properties: unary R and T,
    binary S — enough for q_RST and its variants. *)
 let default_rels = [ ("R", 1); ("S", 2); ("T", 1) ]

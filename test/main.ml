@@ -40,4 +40,5 @@ let () =
       ("paper-lemmas", Test_paper_lemmas.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("conformance", Test_conformance.suite);
+      ("server", Test_server.suite);
     ]

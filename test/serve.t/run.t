@@ -1,0 +1,131 @@
+The serving loop end to end: `svc client encode` builds request frames,
+`svc serve` answers them on stdin/stdout, `svc client decode` strips the
+framing.  --fake-clock pins telemetry to a deterministic clock (1ms per
+frame), so the whole transcript is byte-exact.
+
+  $ cat > demo.db <<'DB'
+  > endo R(1)
+  > endo S(1,2)
+  > endo T(2)
+  > endo S(1,3)
+  > exo  T(3)
+  > DB
+
+A full session: the first eval compiles (a cache miss), the second hits
+the cache, an insert makes the cached engine stale so the next eval
+catches up by a delta update (the new fact changes the answers), and the
+delete delta brings the original answers back.
+
+  $ ../../bin/svc_cli.exe client encode \
+  >   '{"op":"ping","id":1}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)"}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)"}' \
+  >   '{"op":"insert","db":"demo","fact":"T(4)"}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)"}' \
+  >   '{"op":"delete","db":"demo","fact":"T(4)"}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)"}' \
+  >   '{"op":"stats"}' \
+  > | ../../bin/svc_cli.exe serve --db demo=demo.db --fake-clock \
+  > | ../../bin/svc_cli.exe client decode
+  {"ok":true,"id":1,"op":"ping"}
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"miss","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"}]}
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"hit","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"}]}
+  {"ok":true,"op":"insert","db":"demo","version":1,"endo":5,"size":6}
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"delta","version":1,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"},{"fact":"T(4)","value":"0"}]}
+  {"ok":true,"op":"delete","db":"demo","version":2,"endo":4,"size":5}
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"delta","version":2,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"}]}
+  {"ok":true,"op":"stats","dbs":1,"engines":1,"capacity":8,"hits":1,"misses":1,"evictions":0,"delta_updates":2,"requests":8,"errors":0}
+
+The circuit backend is cached under its own key; after a delta update
+its recompiled circuit reuses the hash-consed sub-circuits the change
+did not touch (reused_nodes).
+
+  $ ../../bin/svc_cli.exe client encode \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)","backend":"circuit"}' \
+  >   '{"op":"insert","db":"demo","fact":"T(4)"}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)","backend":"circuit","facts":["T(4)"]}' \
+  > | ../../bin/svc_cli.exe serve --db demo=demo.db --fake-clock \
+  > | ../../bin/svc_cli.exe client decode
+  {"ok":true,"op":"eval","db":"demo","backend":"circuit","cache":"miss","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"}]}
+  {"ok":true,"op":"insert","db":"demo","version":1,"endo":5,"size":6}
+  {"ok":true,"op":"eval","db":"demo","backend":"circuit","cache":"delta","version":1,"reused_nodes":15,"values":[{"fact":"T(4)","value":"0"}]}
+
+LRU eviction: with capacity 2, the third distinct query evicts the
+least-recently-used engine, and re-asking the first query misses again.
+
+  $ ../../bin/svc_cli.exe client encode \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)"}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y)"}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x)"}' \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)"}' \
+  >   '{"op":"stats"}' \
+  > | ../../bin/svc_cli.exe serve --db demo=demo.db --fake-clock --cache-capacity 2 \
+  > | ../../bin/svc_cli.exe client decode
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"miss","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"}]}
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"miss","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"2/3"},{"fact":"S(1,2)","value":"1/6"},{"fact":"S(1,3)","value":"1/6"},{"fact":"T(2)","value":"0"}]}
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"miss","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"1"},{"fact":"S(1,2)","value":"0"},{"fact":"S(1,3)","value":"0"},{"fact":"T(2)","value":"0"}]}
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"miss","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"}]}
+  {"ok":true,"op":"stats","dbs":1,"engines":2,"capacity":2,"hits":0,"misses":4,"evictions":2,"delta_updates":0,"requests":5,"errors":0}
+
+Errors are structured frames, never crashes: bad JSON, an unknown op and
+a bad request each get an error response and the session continues; a
+malformed frame is answered and then ends the session (the stream
+position is gone).
+
+  $ ../../bin/svc_cli.exe client encode \
+  >   '{"op":' \
+  >   '{"op":"frobnicate","id":7}' \
+  >   '{"op":"delete","db":"demo","fact":"R(9)"}' \
+  >   '{"op":"ping"}' \
+  > | ../../bin/svc_cli.exe serve --db demo=demo.db --fake-clock \
+  > | ../../bin/svc_cli.exe client decode
+  {"ok":false,"error":"bad_json","message":"unexpected end of input at offset 6"}
+  {"ok":false,"id":7,"error":"unknown_op","message":"unknown op \"frobnicate\""}
+  {"ok":false,"error":"bad_request","message":"fact R(9) is not present"}
+  {"ok":true,"op":"ping"}
+
+  $ { ../../bin/svc_cli.exe client encode '{"op":"ping"}'; printf 'not a frame\n'; } \
+  > | ../../bin/svc_cli.exe serve --db demo=demo.db --fake-clock \
+  > | ../../bin/svc_cli.exe client decode
+  {"ok":true,"op":"ping"}
+  {"ok":false,"error":"frame","message":"frame length prefix is not a decimal line"}
+
+A shutdown request acks and stops the loop; with the fake clock the
+exported trace is deterministic, so its summary is too.
+
+  $ ../../bin/svc_cli.exe client encode \
+  >   '{"op":"eval","db":"demo","query":"R(?x), S(?x,?y), T(?y)"}' \
+  >   '{"op":"trace","path":"serve-trace.json"}' \
+  >   '{"op":"shutdown"}' \
+  >   '{"op":"ping"}' \
+  > | ../../bin/svc_cli.exe serve --db demo=demo.db --fake-clock \
+  > | ../../bin/svc_cli.exe client decode
+  {"ok":true,"op":"eval","db":"demo","backend":"conditioning","cache":"miss","version":0,"reused_nodes":0,"values":[{"fact":"R(1)","value":"7/12"},{"fact":"S(1,2)","value":"1/12"},{"fact":"S(1,3)","value":"1/4"},{"fact":"T(2)","value":"1/12"}]}
+  {"ok":true,"op":"trace","path":"serve-trace.json"}
+  {"ok":true,"op":"shutdown"}
+
+  $ ../../bin/svc_cli.exe trace summary serve-trace.json
+  trace summary : serve-trace.json
+  events        : 22 (11 spans, 1 metadata, 10 counter samples)
+  tracks        : 1
+    track 0 (main)            : 11 spans
+  spans by name:
+    engine.eval                                 1x  time  : 0.00ms
+    engine.fact                                 4x  time  : 0.00ms
+    engine.full                                 1x  time  : 0.00ms
+    engine.lineage                              1x  time  : 0.00ms
+    plan.analyze                                1x  time  : 0.00ms
+    plan.order                                  1x  time  : 0.00ms
+    server.eval                                 1x  time  : 0.00ms
+    server.request                              1x  time  : 0.00ms
+  counters:
+    server.delta_updates                     0
+    server.cache_evictions                   0
+    server.cache_misses                      1
+    server.cache_hits                        0
+    server.errors                            0
+    server.requests                          2
+    engine.compilations                      1
+    engine.conditionings                     5
+    plan.components                          1
+    plan.max_width                           2

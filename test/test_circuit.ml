@@ -130,7 +130,7 @@ let prop_banzhaf_circuit =
 (* the tentpole contract: zero per-fact conditionings, one lineage
    compilation, a live circuit in the stats *)
 let test_no_conditioning () =
-  let db = Workload.star_join ~spokes:8 in
+  let db = Gen.star ~spokes:8 in
   let q = Query_parse.parse "R(?x), S(?x,?y)" in
   let e = Engine.create ~backend:`Circuit q db in
   Alcotest.(check bool) "resolved to circuit" true (Engine.backend e = `Circuit);
@@ -150,8 +150,8 @@ let test_no_conditioning () =
 (* `Auto resolution: circuit iff serial and at least threshold players *)
 let test_auto_selection () =
   let q = Query_parse.parse "R(?x), S(?x,?y)" in
-  let big = Workload.star_join ~spokes:(Engine.circuit_threshold + 2) in
-  let small = Workload.star_join ~spokes:4 in
+  let big = Gen.star ~spokes:(Engine.circuit_threshold + 2) in
+  let small = Gen.star ~spokes:4 in
   let e_big = Engine.create q big in
   Alcotest.(check bool) "big serial → circuit" true
     (Engine.backend e_big = `Circuit && Engine.auto_selected e_big);
@@ -169,7 +169,7 @@ let test_auto_selection () =
 
 (* a bounded circuit compile cache changes counters, never answers *)
 let test_bounded_circuit_cache () =
-  let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:3 in
   let bounded = Engine.create ~backend:`Circuit ~cache_capacity:2 qrst db in
   let unbounded = Engine.create ~backend:`Circuit qrst db in
   Alcotest.(check bool) "same values" true
@@ -180,7 +180,7 @@ let test_bounded_circuit_cache () =
 
 (* smoothing gadgets exist exactly when Shannon branches forget variables *)
 let test_smoothing_counted () =
-  let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:3 in
   let c = Circuit.compile (Lineage.lineage qrst db) in
   Alcotest.(check bool) "smoothing nodes counted" true
     (Circuit.smoothing_nodes c > 0);
@@ -191,7 +191,7 @@ let test_smoothing_counted () =
 (* Stats.normalize zeroes the circuit wall-clock fields (and only those of
    the new fields), and the JSON shape is pinned *)
 let test_stats_normalize_and_json () =
-  let db = Workload.star_join ~spokes:6 in
+  let db = Gen.star ~spokes:6 in
   let q = Query_parse.parse "R(?x), S(?x,?y)" in
   let e = Engine.create ~backend:`Circuit q db in
   ignore (Engine.svc_all e);
@@ -266,7 +266,7 @@ let test_workload_backend () =
     Workload.make ~name:"circuit-test"
       ~cases:
         [ Workload.case ~name:"star" ~query_src:"R(?x), S(?x,?y)"
-            ~db:(Workload.star_join ~spokes:3) ]
+            ~db:(Gen.star ~spokes:3) ]
   in
   match (Workload.eval ~backend:`Circuit w, Workload.eval ~backend:`Conditioning w) with
   | [ rc ], [ rk ] ->

@@ -78,7 +78,7 @@ let prop_bounded_cache =
 (* symmetry: the spokes of a star join are interchangeable, so they all
    get the same Shapley value *)
 let test_symmetry () =
-  let db = Workload.star_join ~spokes:6 in
+  let db = Gen.star ~spokes:6 in
   let q = Query_parse.parse "R(?x), S(?x,?y)" in
   let e = Engine.create q db in
   let spoke_values =
@@ -110,7 +110,7 @@ let test_null_player () =
    cost-based `Auto would (correctly) pick the circuit for this
    instance, and this test is about the conditioning path's contract. *)
 let test_single_compilation () =
-  let db = Workload.star_join ~spokes:8 in
+  let db = Gen.star ~spokes:8 in
   let q = Query_parse.parse "R(?x), S(?x,?y)" in
   let e = Engine.create ~backend:`Conditioning q db in
   ignore (Engine.svc_all e);
@@ -130,7 +130,7 @@ let test_single_compilation () =
 (* backend pinned to conditioning: the memo-cache bound under test only
    bites on the conditioning path *)
 let test_bounded_cache_drops () =
-  let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:3 in
   let bounded =
     Engine.create ~backend:`Conditioning ~cache_capacity:4 qrst db
   in
@@ -185,7 +185,7 @@ let test_workload_eval () =
     Workload.make ~name:"engine-test"
       ~cases:
         [ Workload.case ~name:"star" ~query_src:"R(?x), S(?x,?y)"
-            ~db:(Workload.star_join ~spokes:3) ]
+            ~db:(Gen.star ~spokes:3) ]
   in
   match Workload.eval w with
   | [ r ] ->

@@ -47,7 +47,7 @@ let test_unsafe_stuck () =
 let test_scales_beyond_brute () =
   (* a polynomial-time guarantee: large safe instance *)
   let u = Ucq.parse "R(?x), S(?x,?y)" in
-  let db = Workload.star_join ~spokes:100 in
+  let db = Gen.star ~spokes:100 in
   match Lifted.ucq u db with
   | Some p ->
     check_bigint "closed form: 2^100 - 1"

@@ -140,9 +140,9 @@ let test_determinism_regression () =
     Workload.make ~name:"determinism"
       ~cases:
         [ Workload.case ~name:"star" ~query_src:"R(?x), S(?x,?y)"
-            ~db:(Workload.star_join ~spokes:7);
+            ~db:(Gen.star ~spokes:7);
           Workload.case ~name:"rst" ~query_src:"R(?x), S(?x,?y), T(?y)"
-            ~db:(Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false ()) ]
+            ~db:(Gen.bipartite ~rows:3) ]
   in
   let r1 = Workload.eval ~jobs:4 w in
   let r2 = Workload.eval ~jobs:4 w in
@@ -161,7 +161,7 @@ let test_determinism_regression () =
    the domain slots, n+1 conditionings as in the serial engine, one slot
    record per worker *)
 let test_parallel_stats_shape () =
-  let db = Workload.star_join ~spokes:9 in
+  let db = Gen.star ~spokes:9 in
   let q = Query_parse.parse "R(?x), S(?x,?y)" in
   let e = Engine.create ~jobs:4 q db in
   ignore (Engine.svc_all e);

@@ -37,7 +37,7 @@ let plancheck_rejects what phi plan =
    must land at or below 1087 nodes (half the 2174-node unplanned
    Shannon expansion).  The pseudo-tree branch order gives 565. *)
 let test_bipartite_plan () =
-  let db = Workload.rst_gadget ~complete:true ~rows:4 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:4 in
   let phi = Lineage.lineage qrst db in
   let plan = Plan.analyze phi in
   Alcotest.(check int) "all 24 variables covered" 24 plan.Plan.n_vars;
@@ -60,7 +60,7 @@ let test_bipartite_plan () =
 
 (* the planned circuit still computes the right thing end to end *)
 let test_bipartite_values () =
-  let db = Workload.rst_gadget ~complete:true ~rows:3 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:3 in
   let circuit = Engine.create ~backend:`Circuit qrst db in
   let conditioning = Engine.create ~backend:`Conditioning qrst db in
   Alcotest.(check bool) "circuit = conditioning on rows=3" true
@@ -72,7 +72,7 @@ let test_bipartite_values () =
 (* ---- multi-component split: constant atoms decouple the root And ---- *)
 
 let test_multi_component () =
-  let db = Workload.rst_gadget ~complete:true ~rows:2 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:2 in
   (* R(l0) ∧ T(r1) shares no variables across the two conjuncts, so the
      root And splits into two independent components. *)
   let q = Query_parse.parse "R(l0), T(r1)" in
@@ -103,7 +103,7 @@ let test_constant_lineage () =
 (* ---- Plancheck mutation rejections ---- *)
 
 let bipartite_plan rows =
-  let db = Workload.rst_gadget ~complete:true ~rows ~extra_exo:false () in
+  let db = Gen.bipartite ~rows in
   let phi = Lineage.lineage qrst db in
   (phi, Plan.analyze phi)
 
@@ -164,7 +164,7 @@ let test_reject_branch_not_permutation () =
     { plan with Plan.components = List.map mangle plan.Plan.components }
 
 let test_reject_merged_components () =
-  let db = Workload.rst_gadget ~complete:true ~rows:2 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:2 in
   let q = Query_parse.parse "R(l0), T(r1)" in
   let phi = Lineage.lineage q db in
   let plan = Plan.analyze phi in

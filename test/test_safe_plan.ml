@@ -112,7 +112,7 @@ let prop_matches_brute =
 let prop_polynomial_guarantee =
   (* the safe plan handles instances far beyond brute force *)
   qcheck ~count:5 "scales to large instances" QCheck2.Gen.(int_range 20 60) (fun spokes ->
-      let db = Workload.star_join ~spokes in
+      let db = Gen.star ~spokes in
       let q = Cq.parse "R(?x), S(?x,?y)" in
       let p = Safe_plan.fgmc_polynomial q db in
       (* on a single star: supports = subsets containing R(hub) and ≥1 spoke *)
@@ -133,7 +133,7 @@ let test_svc_hierarchical () =
          (Svc.svc_hierarchical q db f))
     (Database.endo_list db);
   (* scales to instances far beyond brute force *)
-  let big = Workload.star_join ~spokes:60 in
+  let big = Gen.star ~spokes:60 in
   let hub = fact "R" [ "hub" ] in
   let v = Svc.svc_hierarchical q big hub in
   Alcotest.(check bool) "hub dominates" true (Rational.compare v Rational.half > 0)

@@ -300,7 +300,7 @@ let prop_determinism =
    instance, changing the seed changes the sampled permutations and so
    the pivot counts *)
 let test_seed_matters () =
-  let db = Workload.rst_gadget ~complete:true ~rows:2 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:2 in
   let run s =
     let cfg =
       Sample.config ~strategy:Sample.Monte_carlo ~seed:s ~max_draws:128 ()
@@ -314,7 +314,7 @@ let test_seed_matters () =
 (* ------------------------------------------------------------------ *)
 
 let test_stopping () =
-  let db = Workload.rst_gadget ~complete:true ~rows:2 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:2 in
   (* generous ε: one batch suffices and the loop stops there *)
   let loose =
     Sample.config ~strategy:Sample.Monte_carlo ~seed:3
@@ -340,7 +340,7 @@ let test_stopping () =
 
 (* the stats pipeline reports what the sampler did *)
 let test_stats_surface () =
-  let db = Workload.rst_gadget ~complete:true ~rows:2 ~extra_exo:false () in
+  let db = Gen.bipartite ~rows:2 in
   let cfg =
     Sample.config ~strategy:Sample.Monte_carlo ~seed:9 ~max_draws:128
       ~batch:64 ()
