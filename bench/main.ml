@@ -40,6 +40,7 @@ let experiments ~jobs : (string * (unit -> bool)) list =
     ("ablate_shapley", Exp_scale.ablate_shapley);
     ("ablate_safeplan", Exp_scale.ablate_safeplan);
     ("ablate_homsearch", Exp_scale.ablate_homsearch);
+    ("arith", Micro.arith);
     ("micro", Micro.run);
   ]
 

@@ -7,8 +7,15 @@
     this library are carried out with this module (the sealed build
     environment provides no [zarith]).
 
-    Representation: sign + magnitude, magnitude in base [2{^24}] limbs.
-    All operations are purely functional. *)
+    Representation: adaptive two-tier.  Values whose magnitude fits in 62
+    bits are carried as a tagged native [int] (the overwhelming majority of
+    intermediates on the conditioning / circuit-sweep hot paths); anything
+    larger transparently promotes to a sign + magnitude form in base
+    [2{^24}] limbs, and demotes again the moment a result shrinks back
+    under the boundary.  The canonical-form invariant (small iff it fits)
+    is maintained by every operation, so there is exactly one
+    representation per value — in particular one zero.  All operations are
+    purely functional. *)
 
 type t
 
@@ -41,6 +48,12 @@ val to_float : t -> float
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Value hash: two numerically equal values hash identically regardless of
+    which internal tier holds them (both tiers fold the same normalized
+    limb sequence). *)
+
 val sign : t -> int
 (** [-1], [0] or [1]. *)
 
@@ -124,4 +137,34 @@ module Infix : sig
   val ( > ) : t -> t -> bool
   val ( >= ) : t -> t -> bool
   val ( ~- ) : t -> t
+end
+
+(** {1 Test hooks}
+
+    The cross-representation differential battery (test/test_bigint.ml)
+    and the arith microbench need to force values onto the magnitude-array
+    tier and to observe which tier a result landed on.  Nothing in the
+    library itself uses these. *)
+
+module For_tests : sig
+  val force_big : t -> t
+  (** Same value, re-represented on the magnitude-array tier even when it
+      fits the small tier (a deliberately non-canonical view; all public
+      operations accept it and still return canonical results). *)
+
+  val is_small : t -> bool
+  (** [true] iff the value is currently held on the tagged-int tier. *)
+
+  val canonical : t -> bool
+  (** Checks the canonical-form invariant: small iff the magnitude fits in
+      62 bits, no [min_int] payload, normalized magnitude, exact sign. *)
+
+  val add_ref : t -> t -> t
+  val sub_ref : t -> t -> t
+
+  val mul_ref : t -> t -> t
+  (** Pure magnitude-path reference computations: compute through the
+      big-tier code regardless of operand size and return a forced-big
+      result.  The differential suites and the [bench arith] forced-big
+      baseline are built from these. *)
 end

@@ -112,8 +112,11 @@ let solve_vandermonde pts b =
   | None -> invalid_arg "Linalg.solve_vandermonde: singular (impossible for distinct points)"
 
 let shifted_factorial_matrix n =
+  (* one shared running-product table instead of recomputing (i+j)! from
+     scratch for each of the (n+1)^2 entries *)
+  let t = Bigint.factorial_table (2 * n) in
   Array.init (n + 1) (fun i ->
-      Array.init (n + 1) (fun j -> Rational.of_bigint (Bigint.factorial (i + j))))
+      Array.init (n + 1) (fun j -> Rational.of_bigint t.(i + j)))
 
 let pp_vector fmt v =
   Format.fprintf fmt "[@[%a@]]"

@@ -34,12 +34,28 @@ module type S = sig
   val eval : t -> coeff -> coeff
   val sum : t list -> t
   val pp : Format.formatter -> t -> unit
+
+  type acc
+
+  val acc_create : int -> acc
+  val acc_clear : acc -> unit
+  val acc_add : acc -> t -> unit
+  val acc_add_scaled : acc -> coeff -> int -> t -> unit
+  val acc_total : acc -> t
+
+  module For_tests : sig
+    val of_list_reference : coeff list -> t
+  end
 end
 
 module Make (R : Ring) : S with type coeff = R.t = struct
   type coeff = R.t
 
-  (* Dense little-endian coefficient array with no trailing zeros. *)
+  (* Dense little-endian coefficient array with no trailing zeros.  The
+     flat representation keeps the hot kernels (add / scale / shift and
+     the accumulator below) as single passes over contiguous arrays, with
+     the leading-coefficient analysis deciding when a normalization copy
+     can be skipped entirely. *)
   type t = coeff array
 
   let norm (a : t) : t =
@@ -73,13 +89,41 @@ module Make (R : Ring) : S with type coeff = R.t = struct
         Array.iteri (fun i c -> if not (R.equal c q.(i)) then ok := false) p;
         !ok)
 
+  (* Unequal lengths cannot cancel the leading coefficient, so the longer
+     operand's tail is blitted and no normalization pass is needed. *)
   let add p q =
     let lp = Array.length p and lq = Array.length q in
-    let lr = Stdlib.max lp lq in
-    norm (Array.init lr (fun i -> R.add (coeff p i) (coeff q i)))
+    if lp = 0 then q
+    else if lq = 0 then p
+    else if lp = lq then begin
+      let r = Array.make lp R.zero in
+      for i = 0 to lp - 1 do r.(i) <- R.add p.(i) q.(i) done;
+      norm r
+    end
+    else begin
+      let long, short = if lp > lq then (p, q) else (q, p) in
+      let ll = Array.length long and ls = Array.length short in
+      let r = Array.make ll R.zero in
+      for i = 0 to ls - 1 do r.(i) <- R.add long.(i) short.(i) done;
+      Array.blit long ls r ls (ll - ls);
+      r
+    end
 
   let neg p = Array.map R.neg p
-  let sub p q = add p (neg q)
+
+  let sub p q =
+    let lp = Array.length p and lq = Array.length q in
+    if lq = 0 then p
+    else begin
+      let lr = Stdlib.max lp lq in
+      let r = Array.make lr R.zero in
+      for i = 0 to lr - 1 do
+        let a = if i < lp then p.(i) else R.zero in
+        let b = if i < lq then q.(i) else R.zero in
+        r.(i) <- R.add a (R.neg b)
+      done;
+      if lp > lq then r else norm r
+    end
 
   let mul p q =
     let lp = Array.length p and lq = Array.length q in
@@ -87,14 +131,23 @@ module Make (R : Ring) : S with type coeff = R.t = struct
     else begin
       let r = Array.make (lp + lq - 1) R.zero in
       for i = 0 to lp - 1 do
-        for j = 0 to lq - 1 do
-          r.(i + j) <- R.add r.(i + j) (R.mul p.(i) q.(j))
-        done
+        let pi = p.(i) in
+        if not (R.equal pi R.zero) then
+          for j = 0 to lq - 1 do
+            r.(i + j) <- R.add r.(i + j) (R.mul pi q.(j))
+          done
       done;
       norm r
     end
 
-  let scale c p = norm (Array.map (R.mul c) p)
+  let scale c p =
+    if R.equal c R.zero then zero
+    else if R.equal c R.one then p
+    else begin
+      let r = Array.make (Array.length p) R.zero in
+      for i = 0 to Array.length p - 1 do r.(i) <- R.mul c p.(i) done;
+      norm r
+    end
 
   let shift k p =
     if k < 0 then invalid_arg "Poly.shift: negative shift";
@@ -108,7 +161,55 @@ module Make (R : Ring) : S with type coeff = R.t = struct
     done;
     !acc
 
-  let sum = List.fold_left add zero
+  (* In-place accumulation: one growable coefficient buffer absorbing a
+     whole sequence of (scaled, shifted) polynomials with no intermediate
+     allocation — the shape of the conditioning merge and of the
+     bottom-up circuit sweep.  [len] counts the valid prefix; slots at or
+     beyond it are [R.zero]. *)
+  type acc = { mutable buf : coeff array; mutable len : int }
+
+  let acc_create hint =
+    { buf = Array.make (Stdlib.max 1 hint) R.zero; len = 0 }
+
+  let acc_clear a =
+    Array.fill a.buf 0 a.len R.zero;
+    a.len <- 0
+
+  let acc_ensure a n =
+    if n > Array.length a.buf then begin
+      let nbuf = Array.make (Stdlib.max n (2 * Array.length a.buf)) R.zero in
+      Array.blit a.buf 0 nbuf 0 a.len;
+      a.buf <- nbuf
+    end
+
+  let acc_add_scaled a c k p =
+    if k < 0 then invalid_arg "Poly.acc_add_scaled: negative shift";
+    let lp = Array.length p in
+    if lp > 0 && not (R.equal c R.zero) then begin
+      acc_ensure a (lp + k);
+      if lp + k > a.len then a.len <- lp + k;
+      let buf = a.buf in
+      if R.equal c R.one then
+        for i = 0 to lp - 1 do buf.(i + k) <- R.add buf.(i + k) p.(i) done
+      else
+        for i = 0 to lp - 1 do buf.(i + k) <- R.add buf.(i + k) (R.mul c p.(i)) done
+    end
+
+  let acc_add a p = acc_add_scaled a R.one 0 p
+
+  let acc_total a = norm (Array.sub a.buf 0 a.len)
+
+  let sum ps =
+    match ps with
+    | [] -> zero
+    | [ p ] -> p
+    | ps ->
+      let cap =
+        List.fold_left (fun m p -> Stdlib.max m (Array.length p)) 1 ps
+      in
+      let a = acc_create cap in
+      List.iter (fun p -> acc_add a p) ps;
+      acc_total a
 
   let pp fmt p =
     if is_zero p then Format.pp_print_string fmt "0"
@@ -125,6 +226,20 @@ module Make (R : Ring) : S with type coeff = R.t = struct
            end)
         p
     end
+
+  module For_tests = struct
+    (* Reference construction along the pre-flat-array shape: a fold of
+       one monomial per position through the generic [add].  The
+       differential suite pins [of_coeffs] (single dense pass) against
+       this. *)
+    let of_list_reference cs =
+      let p, _ =
+        List.fold_left
+          (fun (acc, i) c -> (add acc (monomial c i), i + 1))
+          (zero, 0) cs
+      in
+      p
+  end
 end
 
 module Bigint_ring = struct

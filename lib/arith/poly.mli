@@ -56,8 +56,47 @@ module type S = sig
   (** [shift k p] is [z^k · p]. *)
 
   val eval : t -> coeff -> coeff
+
   val sum : t list -> t
+  (** Sums a whole list through one in-place accumulator: a single
+      coefficient buffer of the maximum length, not a fold of pairwise
+      [add]s. *)
+
   val pp : Format.formatter -> t -> unit
+
+  (** {2 In-place accumulation}
+
+      The conditioning merge and the circuit bottom-up sweep both reduce
+      long sequences of (scaled, shifted) polynomials into one result; an
+      accumulator absorbs the whole sequence into a single growable
+      coefficient buffer with no per-step allocation. *)
+
+  type acc
+
+  val acc_create : int -> acc
+  (** [acc_create hint] is a fresh zero accumulator, pre-sized for
+      polynomials of length [hint] (it grows on demand). *)
+
+  val acc_clear : acc -> unit
+  (** Reset to zero, keeping the buffer. *)
+
+  val acc_add : acc -> t -> unit
+  (** [acc_add a p]: in-place [a += p]. *)
+
+  val acc_add_scaled : acc -> coeff -> int -> t -> unit
+  (** [acc_add_scaled a c k p]: in-place [a += c·z{^k}·p] — a fused
+      scale / shift / add with no intermediate polynomial.
+      @raise Invalid_argument if [k < 0]. *)
+
+  val acc_total : acc -> t
+  (** Snapshot of the accumulated sum (the accumulator stays usable). *)
+
+  module For_tests : sig
+    val of_list_reference : coeff list -> t
+    (** Reference constructor building one monomial per position and
+        folding through generic [add] — the slow path the differential
+        suite pins the flat construction against. *)
+  end
 end
 
 module Make (R : Ring) : S with type coeff = R.t

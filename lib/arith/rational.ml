@@ -3,6 +3,7 @@ type t = { num : Bigint.t; den : Bigint.t }
 let make num den =
   if Bigint.is_zero den then raise Division_by_zero;
   if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else if Bigint.equal den Bigint.one then { num; den }
   else begin
     let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
     let g = Bigint.gcd num den in
@@ -25,8 +26,10 @@ let sign x = Bigint.sign x.num
 let is_zero x = Bigint.is_zero x.num
 
 let compare a b =
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
-  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0);
+     equal denominators (integers in particular) skip the cross products *)
+  if Bigint.equal a.den b.den then Bigint.compare a.num b.num
+  else Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
 
 let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
 let lt a b = compare a b < 0
@@ -38,12 +41,20 @@ let neg x = { x with num = Bigint.neg x.num }
 let abs x = { x with num = Bigint.abs x.num }
 
 let add a b =
-  make
-    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
-    (Bigint.mul a.den b.den)
+  (* integer + integer stays integer: no cross products, no gcd *)
+  if Bigint.equal a.den Bigint.one && Bigint.equal b.den Bigint.one then
+    { num = Bigint.add a.num b.num; den = Bigint.one }
+  else
+    make
+      (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+      (Bigint.mul a.den b.den)
 
 let sub a b = add a (neg b)
-let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let mul a b =
+  if Bigint.equal a.den Bigint.one && Bigint.equal b.den Bigint.one then
+    { num = Bigint.mul a.num b.num; den = Bigint.one }
+  else make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
 
 let inv x =
   if is_zero x then raise Division_by_zero;

@@ -217,6 +217,225 @@ let prop_big_divmod =
        let q, r = Bigint.divmod a d in
        Bigint.equal (Bigint.add (Bigint.mul q d) r) a && Bigint.lt (Bigint.abs r) d)
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive small/big representation: the promotion boundary           *)
+(* ------------------------------------------------------------------ *)
+
+module BT = Bigint.For_tests
+
+let p62 = Bigint.pow (b 2) 62
+
+(* A value is entitled to the small tier iff it fits a native int other
+   than min_int; the canonical-form invariant says the tier ALWAYS
+   matches that entitlement. *)
+let in_small_range n =
+  match Bigint.to_int_opt n with
+  | Some v -> v <> min_int
+  | None -> false
+
+let check_canonical ctx r =
+  if not (BT.canonical r) then Alcotest.failf "%s: non-canonical result" ctx;
+  if BT.is_small r <> in_small_range r then
+    Alcotest.failf "%s: value %s on the wrong tier" ctx (Bigint.to_string r)
+
+(* Every binary op at the representation boundary: max_int, min_int,
+   ±(2^62 ± 1), powers of two around the 31-bit multiplication fast-path
+   bound, and small values whose products straddle the promotion
+   threshold. *)
+let boundaries =
+  let near x = [ Bigint.pred x; x; Bigint.succ x ] in
+  List.concat
+    [ [ Bigint.zero; Bigint.one; Bigint.minus_one; b 2; b (-3); b 1000 ];
+      near (b max_int); near (b min_int);
+      near p62; near (Bigint.neg p62);
+      near (b (1 lsl 31)); near (b (-(1 lsl 31)));
+      (* isqrt(2^62) and friends: pairs multiply to straddle 2^62 *)
+      near (b 2147483648); near (b 3037000499) ]
+
+let test_promotion_boundary () =
+  List.iter
+    (fun x ->
+       List.iter
+         (fun y ->
+            let fx = BT.force_big x and fy = BT.force_big y in
+            let ctx op =
+              Printf.sprintf "%s %s %s" (Bigint.to_string x) op (Bigint.to_string y)
+            in
+            (* adaptive result = public op on forced-Big inputs = pure
+               magnitude-path reference, and always canonical *)
+            let check name adaptive forced reference =
+              check_bigint (ctx name) forced adaptive;
+              check_bigint (ctx (name ^ "-ref")) reference adaptive;
+              check_canonical (ctx name) adaptive
+            in
+            check "add" (Bigint.add x y) (Bigint.add fx fy) (BT.add_ref x y);
+            check "sub" (Bigint.sub x y) (Bigint.sub fx fy) (BT.sub_ref x y);
+            check "mul" (Bigint.mul x y) (Bigint.mul fx fy) (BT.mul_ref x y);
+            check_bigint (ctx "min") (Bigint.min fx fy) (Bigint.min x y);
+            check_bigint (ctx "max") (Bigint.max fx fy) (Bigint.max x y);
+            let g = Bigint.gcd x y in
+            check_bigint (ctx "gcd") (Bigint.gcd fx fy) g;
+            check_canonical (ctx "gcd") g;
+            Alcotest.(check int) (ctx "compare")
+              (Bigint.compare x y) (Bigint.compare fx fy);
+            Alcotest.(check bool) (ctx "equal")
+              (Bigint.equal x y) (Bigint.equal fx fy);
+            if not (Bigint.is_zero y) then begin
+              let q, r = Bigint.divmod x y in
+              let fq, fr = Bigint.divmod fx fy in
+              check_bigint (ctx "div") fq q;
+              check_bigint (ctx "rem") fr r;
+              check_canonical (ctx "div") q;
+              check_canonical (ctx "rem") r;
+              check_bigint (ctx "divmod-invariant") x
+                (Bigint.add (Bigint.mul q y) r)
+            end)
+         boundaries)
+    boundaries
+
+(* sub x x, promotion and demotion all land on the one canonical zero:
+   no negative zero, no empty-vs-[|0|] magnitude split, and hashes agree
+   across representations. *)
+let test_zero_normalization () =
+  List.iter
+    (fun x ->
+       let z = Bigint.sub x x in
+       Alcotest.(check int) "compare zero (sub x x)" 0
+         (Bigint.compare Bigint.zero z);
+       Alcotest.(check bool) "sub x x is the small-tier zero" true
+         (BT.is_small z);
+       check_canonical "sub x x" z;
+       Alcotest.(check int) "hash (sub x x) = hash zero"
+         (Bigint.hash Bigint.zero) (Bigint.hash z);
+       let fz = Bigint.sub (BT.force_big x) (BT.force_big x) in
+       Alcotest.(check bool) "forced sub x x demotes to canonical zero" true
+         (BT.is_small fz);
+       Alcotest.(check int) "compare zero (forced sub x x)" 0
+         (Bigint.compare Bigint.zero fz);
+       check_bigint "neg zero" Bigint.zero (Bigint.neg z);
+       Alcotest.(check int) "hash across representations"
+         (Bigint.hash x) (Bigint.hash (BT.force_big x)))
+    boundaries;
+  (* demotion: a genuinely big intermediate shrinking back under the
+     boundary must land on the small tier *)
+  let big = Bigint.mul (b max_int) (b 12345) in
+  Alcotest.(check bool) "promoted product is big" false (BT.is_small big);
+  let back = Bigint.divexact big (b 12345) in
+  Alcotest.(check bool) "exact quotient demotes" true (BT.is_small back);
+  check_bigint "round trip" (b max_int) back
+
+(* Operands drawn to land on, around and far beyond the boundary. *)
+let gen_operand =
+  QCheck2.Gen.(
+    oneof
+      [ map b (int_range (-1000) 1000);
+        map (fun k -> Bigint.sub (b max_int) (b k)) (int_range (-1000) 1000);
+        map (fun k -> Bigint.add (b min_int) (b k)) (int_range (-1000) 1000);
+        map
+          (fun (k, e) -> Bigint.mul_int (Bigint.pow (b 10) e) k)
+          (pair (int_range (-9999) 9999) (int_range 10 40)) ])
+
+(* 1000 random op sequences, evaluated step by step under the adaptive
+   representation and under a forced-Big reference path; every
+   intermediate must agree in value and the adaptive one must be
+   canonical. *)
+let prop_differential_sequences =
+  qcheck ~count:1000 "adaptive = forced-Big over random op sequences"
+    QCheck2.Gen.(
+      pair gen_operand (list_size (int_range 1 12) (pair (int_range 0 4) gen_operand)))
+    (fun (start, ops) ->
+       let apply tag x y =
+         match tag with
+         | 0 -> Bigint.add x y
+         | 1 -> Bigint.sub x y
+         | 2 -> Bigint.mul x y
+         | 3 -> if Bigint.is_zero y then x else Bigint.div x y
+         | _ -> Bigint.gcd x y
+       in
+       let apply_forced tag x y =
+         let fy = BT.force_big y in
+         match tag with
+         | 0 -> BT.add_ref x fy
+         | 1 -> BT.sub_ref x fy
+         | 2 -> BT.mul_ref x fy
+         | 3 -> if Bigint.is_zero y then x else BT.force_big (Bigint.div x fy)
+         | _ -> BT.force_big (Bigint.gcd x fy)
+       in
+       let rec go a r = function
+         | [] -> true
+         | (tag, y) :: rest ->
+           let a' = apply tag a y in
+           let r' = apply_forced tag r y in
+           Bigint.equal a' r'
+           && Bigint.hash a' = Bigint.hash r'
+           && BT.canonical a'
+           && go a' r' rest
+       in
+       go start (BT.force_big start) ops)
+
+let prop_isqrt_differential =
+  qcheck ~count:1000 "isqrt: adaptive = forced-Big, and exact floor"
+    gen_operand
+    (fun n0 ->
+       let n = Bigint.abs n0 in
+       let r = Bigint.isqrt n in
+       let rf = Bigint.isqrt (BT.force_big n) in
+       Bigint.equal r rf && BT.canonical r
+       && Bigint.leq (Bigint.mul r r) n
+       && Bigint.gt (Bigint.mul (Bigint.succ r) (Bigint.succ r)) n)
+
+(* 20! is the last factorial on the small tier; the table must cross the
+   boundary exactly there and agree with the one-shot recurrence. *)
+let test_factorial_table_boundary () =
+  let t = Bigint.factorial_table 30 in
+  for n = 0 to 30 do
+    check_bigint (Printf.sprintf "table.(%d)" n) (Bigint.factorial n) t.(n);
+    check_canonical (Printf.sprintf "table.(%d)" n) t.(n)
+  done;
+  Alcotest.(check bool) "20! is small" true (BT.is_small t.(20));
+  Alcotest.(check bool) "21! is big" false (BT.is_small t.(21))
+
+let test_binomial_row_boundary () =
+  (* row 67 contains both small entries (ends) and big ones (middle) *)
+  let n = 67 in
+  let row = Bigint.binomial_row n in
+  for k = 0 to n do
+    check_bigint (Printf.sprintf "C(%d,%d)" n k) (Bigint.binomial n k) row.(k);
+    check_canonical (Printf.sprintf "C(%d,%d)" n k) row.(k)
+  done;
+  Alcotest.(check bool) "C(67,1) small" true (BT.is_small row.(1));
+  Alcotest.(check bool) "C(67,33) big" false (BT.is_small row.(33))
+
+(* Rational's certified CI bounds stay sound when their Bigint inputs mix
+   tiers (sqrt_upper multiplies the operand up past the boundary even for
+   small-tier inputs; ln_upper's doubling split walks back down). *)
+let prop_sqrt_upper_adaptive =
+  qcheck ~count:300 "sqrt_upper sound on mixed-tier inputs"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 1000))
+    (fun (a, den) ->
+       let big = Rational.of_bigint (Bigint.add p62 (b a)) in
+       let small = Rational.of_ints a den in
+       List.for_all
+         (fun x ->
+            let s = Rational.sqrt_upper x in
+            Rational.leq x (Rational.mul s s))
+         [ small; big; Rational.div big (Rational.of_int den) ])
+
+let prop_ln_upper_adaptive =
+  qcheck ~count:300 "ln_upper sound on mixed-tier inputs"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 1000))
+    (fun (a, den) ->
+       (* 1 + a/den over [1, 10^6], and a value past the small tier *)
+       let xs =
+         [ Rational.add Rational.one (Rational.of_ints a den);
+           Rational.of_bigint (Bigint.add p62 (b a)) ]
+       in
+       List.for_all
+         (fun x ->
+            let u = Rational.to_float (Rational.ln_upper x) in
+            u >= log (Rational.to_float x) -. 1e-9)
+         xs)
+
 let suite =
   [
     Alcotest.test_case "constants" `Quick test_constants;
@@ -242,4 +461,12 @@ let suite =
     prop_string_roundtrip;
     prop_gcd_divides;
     prop_big_divmod;
+    Alcotest.test_case "promotion boundary ops" `Quick test_promotion_boundary;
+    Alcotest.test_case "zero normalization" `Quick test_zero_normalization;
+    Alcotest.test_case "factorial table boundary" `Quick test_factorial_table_boundary;
+    Alcotest.test_case "binomial row boundary" `Quick test_binomial_row_boundary;
+    prop_differential_sequences;
+    prop_isqrt_differential;
+    prop_sqrt_upper_adaptive;
+    prop_ln_upper_adaptive;
   ]

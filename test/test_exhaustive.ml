@@ -212,6 +212,98 @@ let sweep_constants =
             Alcotest.failf "svc_const mismatch on mask %d" mask
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Conformance goldens                                                 *)
+(*                                                                     *)
+(* MD5 digests of the full SVC output on pinned registry instances,    *)
+(* per backend and at jobs ∈ {1, 4}.  These pin the outputs            *)
+(* bit-identically: any change to arithmetic, compilation order, or    *)
+(* the parallel merge that alters a single printed rational flips a    *)
+(* digest.  The conditioning and circuit backends (and the hybrid      *)
+(* sampler when every stratum fits under its exact cap, as on [star])  *)
+(* must produce the same digest; the sampler's Monte-Carlo fallback on *)
+(* [bipartite] is seeded, so its digest is pinned too — just to a      *)
+(* different value.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let svc_digest ~backend ~jobs (case : Workload.case) =
+  let e = Engine.create ~backend ~jobs case.Workload.query case.Workload.db in
+  let lines =
+    List.map
+      (fun (f, v) -> Fact.to_string f ^ "=" ^ Rational.to_string v)
+      (Engine.svc_all e)
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" lines))
+
+let golden_digests =
+  [
+    ("star", 0, 4, "conditioning", `Conditioning, "e14544f048cd5f512a659a81cb19c421");
+    ("star", 0, 4, "circuit", `Circuit, "e14544f048cd5f512a659a81cb19c421");
+    ("star", 0, 4, "sample", `Sample Sample.default, "e14544f048cd5f512a659a81cb19c421");
+    ("bipartite", 0, 3, "conditioning", `Conditioning, "8992ce54d6c7c1d164db03d7ddecfd89");
+    ("bipartite", 0, 3, "circuit", `Circuit, "8992ce54d6c7c1d164db03d7ddecfd89");
+    ("bipartite", 0, 3, "sample", `Sample Sample.default, "4041ff4ef8eb85fe26781109ed998c4a");
+  ]
+
+let conformance_goldens =
+  Alcotest.test_case "conformance: golden SVC digests per backend x jobs" `Quick
+    (fun () ->
+       List.iter
+         (fun (family, seed, size, bname, backend, expected) ->
+            let case = Workload.generate ~family ~seed ~size in
+            List.iter
+              (fun jobs ->
+                 Alcotest.(check string)
+                   (Printf.sprintf "%s/%d/%d %s jobs=%d" family seed size bname jobs)
+                   expected
+                   (svc_digest ~backend ~jobs case))
+              [ 1; 4 ])
+         golden_digests)
+
+(* The one-line JSON emitted by [Stats.to_json] is consumed by the bench
+   harness and the serving layer; pin its field names and order so a
+   refactor of the stats record cannot silently reshape it. *)
+let stats_json_keys =
+  [
+    "players"; "compilations"; "conditionings"; "cache_hits"; "cache_misses";
+    "cache_size"; "cache_capacity"; "cache_drops"; "poly_ops"; "jobs";
+    "par_facts"; "par_cache_hits"; "par_cache_misses"; "par_steals";
+    "compile_ms"; "eval_ms"; "backend"; "circuit_nodes"; "circuit_edges";
+    "circuit_smoothing"; "circuit_cache_hits"; "circuit_cache_misses";
+    "circuit_cache_drops"; "circuit_compile_ms"; "circuit_traverse_ms";
+    "sample_strategy"; "sample_seed"; "sample_draws"; "sample_exact_strata";
+    "sample_sampled_strata"; "sample_max_hw"; "sample_epsilon";
+    "sample_confidence"; "sample_converged";
+  ]
+
+let json_keys s =
+  (* top-level keys of a flat one-line JSON object: no nested objects and
+     no commas inside values, which holds for [Stats.to_json] output *)
+  let body = String.sub s 1 (String.length s - 2) in
+  List.map
+    (fun field ->
+       match String.index_opt field ':' with
+       | Some i ->
+         let k = String.trim (String.sub field 0 i) in
+         String.sub k 1 (String.length k - 2)
+       | None -> Alcotest.failf "malformed JSON field %S" field)
+    (String.split_on_char ',' body)
+
+let stats_json_shape =
+  Alcotest.test_case "Stats.to_json shape is pinned" `Quick (fun () ->
+      Alcotest.(check (list string))
+        "keys of zero" stats_json_keys
+        (json_keys (Stats.to_json Stats.zero));
+      let case = Workload.generate ~family:"star" ~seed:0 ~size:3 in
+      List.iter
+        (fun backend ->
+           let e = Engine.create ~backend ~jobs:4 case.Workload.query case.Workload.db in
+           ignore (Engine.svc_all e);
+           Alcotest.(check (list string))
+             "keys of a live run" stats_json_keys
+             (json_keys (Stats.to_json (Engine.stats e))))
+        [ `Conditioning; `Circuit; `Sample Sample.default ])
+
 let suite =
   List.concat_map
     (fun entry -> [ sweep_counting entry; sweep_sppqe entry ])
@@ -222,4 +314,4 @@ let suite =
       (List.filter (fun (n, _, _) -> n = "q_RST" || n = "negation") universes)
   @ List.map sweep_sample
       (List.filter (fun (n, _, _) -> n = "q_RST" || n = "negation") universes)
-  @ [ sweep_lemma41; sweep_constants ]
+  @ [ sweep_lemma41; sweep_constants; conformance_goldens; stats_json_shape ]

@@ -82,6 +82,102 @@ let prop_eval_hom =
          (Poly.Z.eval (Poly.Z.add p q) v)
          (Bigint.add (Poly.Z.eval p v) (Poly.Z.eval q v)))
 
+(* ------------------------------------------------------------------ *)
+(* Flat-array representation: differential battery                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Coefficients on both Bigint tiers: small, boundary-straddling, and
+   well past the promotion threshold. *)
+let gen_coeff =
+  QCheck2.Gen.(
+    oneof
+      [ map b (int_range (-50) 50);
+        map (fun k -> Bigint.add (b max_int) (b k)) (int_range (-50) 50);
+        map (fun k -> Bigint.mul_int (Bigint.pow (b 10) 25) k) (int_range (-9) 9) ])
+
+let gen_coeffs = QCheck2.Gen.(list_size (int_range 0 10) gen_coeff)
+
+(* The flat single-pass constructor against the monomial-fold reference,
+   over mixed-tier coefficient lists (1000 cases). *)
+let prop_of_coeffs_reference =
+  qcheck ~count:1000 "of_coeffs = of_list_reference on mixed-tier coeffs"
+    gen_coeffs
+    (fun cs ->
+       Poly.Z.equal (Poly.Z.of_coeffs cs) (Poly.Z.For_tests.of_list_reference cs))
+
+(* Random op sequences: the flat kernels against results recomputed from
+   reference-built operands; coefficients cross the Bigint promotion
+   boundary throughout. *)
+let prop_poly_differential =
+  qcheck ~count:1000 "flat kernels = reference-built operands over op sequences"
+    QCheck2.Gen.(
+      pair gen_coeffs
+        (list_size (int_range 1 6)
+           (pair (int_range 0 4) (pair gen_coeffs (pair gen_coeff (int_range 0 4))))))
+    (fun (start, ops) ->
+       let apply pbuild p (tag, (cs, (c, k))) =
+         let q = pbuild cs in
+         match tag with
+         | 0 -> Poly.Z.add p q
+         | 1 -> Poly.Z.sub p q
+         | 2 -> Poly.Z.mul p q
+         | 3 -> Poly.Z.scale c p
+         | _ -> Poly.Z.shift k p
+       in
+       let adaptive = List.fold_left (apply Poly.Z.of_coeffs) (Poly.Z.of_coeffs start) ops in
+       let reference =
+         List.fold_left
+           (apply Poly.Z.For_tests.of_list_reference)
+           (Poly.Z.For_tests.of_list_reference start) ops
+       in
+       Poly.Z.equal adaptive reference)
+
+(* The in-place accumulator against the allocating composition
+   add ∘ scale ∘ shift, including interleaved snapshots and reuse after
+   acc_clear. *)
+let prop_acc_differential =
+  qcheck ~count:1000 "acc_add_scaled = add (scale c (shift k p))"
+    QCheck2.Gen.(
+      list_size (int_range 0 8) (pair gen_coeffs (pair gen_coeff (int_range 0 5))))
+    (fun steps ->
+       let acc = Poly.Z.acc_create 4 in
+       let expected = ref Poly.Z.zero in
+       let ok = ref true in
+       List.iter
+         (fun (cs, (c, k)) ->
+            let p = Poly.Z.of_coeffs cs in
+            Poly.Z.acc_add_scaled acc c k p;
+            expected := Poly.Z.add !expected (Poly.Z.scale c (Poly.Z.shift k p));
+            if not (Poly.Z.equal (Poly.Z.acc_total acc) !expected) then ok := false)
+         steps;
+       (* a cleared accumulator is reusable from zero *)
+       Poly.Z.acc_clear acc;
+       List.iter (fun (cs, _) -> Poly.Z.acc_add acc (Poly.Z.of_coeffs cs)) steps;
+       !ok
+       && Poly.Z.equal (Poly.Z.acc_total acc)
+            (Poly.Z.sum (List.map (fun (cs, _) -> Poly.Z.of_coeffs cs) steps)))
+
+let prop_sum_differential =
+  qcheck ~count:300 "sum = fold of add"
+    QCheck2.Gen.(list_size (int_range 0 10) gen_coeffs)
+    (fun css ->
+       let ps = List.map Poly.Z.of_coeffs css in
+       Poly.Z.equal (Poly.Z.sum ps) (List.fold_left Poly.Z.add Poly.Z.zero ps))
+
+let test_acc_units () =
+  let acc = Poly.Z.acc_create 1 in
+  check_zpoly "fresh acc is zero" Poly.Z.zero (Poly.Z.acc_total acc);
+  Poly.Z.acc_add_scaled acc (b 3) 2 (zp [ 1; 1 ]);
+  check_zpoly "3z^2(1+z)" (zp [ 0; 0; 3; 3 ]) (Poly.Z.acc_total acc);
+  Poly.Z.acc_add_scaled acc (b (-3)) 2 (zp [ 1; 1 ]);
+  check_zpoly "cancellation back to zero" Poly.Z.zero (Poly.Z.acc_total acc);
+  Poly.Z.acc_add acc (zp [ 5 ]);
+  Poly.Z.acc_add_scaled acc Bigint.zero 0 (zp [ 7; 7 ]);
+  check_zpoly "zero scale is a no-op" (zp [ 5 ]) (Poly.Z.acc_total acc);
+  Alcotest.check_raises "negative shift"
+    (Invalid_argument "Poly.acc_add_scaled: negative shift") (fun () ->
+        Poly.Z.acc_add_scaled acc Bigint.one (-1) (zp [ 1 ]))
+
 let suite =
   [
     Alcotest.test_case "construction" `Quick test_construction;
@@ -94,4 +190,9 @@ let suite =
     prop_mul_comm;
     prop_mul_degree;
     prop_eval_hom;
+    Alcotest.test_case "accumulator units" `Quick test_acc_units;
+    prop_of_coeffs_reference;
+    prop_poly_differential;
+    prop_acc_differential;
+    prop_sum_differential;
   ]
